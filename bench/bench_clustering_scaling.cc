@@ -1,0 +1,77 @@
+// Theorem 1 ablation — Clustering rounds vs density Gamma and id space N.
+//
+// Expected shape: rounds ~ Gamma * log N * log* N. We sweep Gamma at fixed
+// N (rounds/Gamma should stay within a logarithmic band) and N at fixed
+// Gamma (rounds should grow ~log N), and validate every produced
+// clustering geometrically.
+#include "bench_common.h"
+#include "dcc/cluster/clustering.h"
+
+namespace dcc {
+namespace {
+
+void Run() {
+  bench::Banner("Clustering scaling (Theorem 1)",
+                "Jurdzinski et al., PODC'18, Theorem 1",
+                "rounds/Gamma flat-ish across the Gamma sweep; rounds ~log N "
+                "across the N sweep; all clusterings valid");
+
+  std::cout << "-- Gamma sweep (N = 4096, fixed area) --\n";
+  {
+    sinr::Params params = sinr::Params::Default();
+    params.id_space = 1 << 12;
+    const auto prof = cluster::Profile::Practical(params.id_space);
+    Table t({"n", "Gamma", "rounds", "rounds/Gamma", "clusters", "valid"});
+    for (const int n : {48, 96, 192, 288, 384}) {
+      auto pts = workload::UniformSquare(n, 5.0, 7 + n);
+      const auto net = workload::MakeNetwork(pts, params, 3 + n);
+      const auto all = bench::AllIndices(net);
+      const int gamma = cluster::SubsetDensity(net, all);
+      sim::Exec ex(net);
+      const auto res = cluster::BuildClustering(
+          ex, prof, all, gamma, static_cast<std::uint64_t>(n));
+      const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
+      t.AddRow({Table::Num(std::int64_t{n}), Table::Num(std::int64_t{gamma}),
+                Table::Num(res.rounds),
+                Table::Num(static_cast<double>(res.rounds) /
+                           std::max(gamma, 1)),
+                Table::Num(std::int64_t{chk.num_clusters}),
+                chk.ValidRClustering(1.0, params.eps) && res.unassigned == 0
+                    ? "yes"
+                    : "NO"});
+    }
+    t.Print(std::cout);
+  }
+
+  std::cout << "\n-- N sweep (same 128-node workload, growing id space) --\n";
+  {
+    Table t({"N", "rounds", "rounds/lnN", "valid"});
+    for (const int logN : {10, 14, 18, 22}) {
+      sinr::Params params = sinr::Params::Default();
+      params.id_space = 1ll << logN;
+      const auto prof = cluster::Profile::Practical(params.id_space);
+      auto pts = workload::UniformSquare(128, 4.5, 77);
+      const auto net = workload::MakeNetwork(pts, params, 31);
+      const auto all = bench::AllIndices(net);
+      const int gamma = cluster::SubsetDensity(net, all);
+      sim::Exec ex(net);
+      const auto res = cluster::BuildClustering(ex, prof, all, gamma, 9);
+      const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
+      t.AddRow({Table::Num(params.id_space), Table::Num(res.rounds),
+                Table::Num(static_cast<double>(res.rounds) /
+                           (0.693 * logN)),
+                chk.ValidRClustering(1.0, params.eps) && res.unassigned == 0
+                    ? "yes"
+                    : "NO"});
+    }
+    t.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace dcc
+
+int main() {
+  dcc::Run();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the table/figure regenerators.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dcc/cluster/validate.h"
+#include "dcc/common/table.h"
+#include "dcc/sinr/network.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::bench {
+
+inline std::vector<std::size_t> AllIndices(const sinr::Network& net) {
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+inline void Banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "paper: " << paper_ref << "\n"
+            << "expected shape: " << expectation << "\n\n";
+}
+
+}  // namespace dcc::bench

@@ -1,0 +1,117 @@
+// Engine micro-benchmarks (google-benchmark): SINR round throughput with
+// the dense gain matrix vs on-the-fly gains, schedule execution overhead,
+// and selector membership cost. These gate how large the protocol
+// experiments can run.
+#include <benchmark/benchmark.h>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/sel/ssf.h"
+#include "dcc/sim/runner.h"
+#include "dcc/sinr/engine.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc {
+namespace {
+
+sinr::Network MakeNet(int n, std::int64_t id_space) {
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = id_space;
+  auto pts = workload::UniformSquare(n, std::sqrt(static_cast<double>(n)),
+                                     42);
+  return workload::MakeNetwork(std::move(pts), params, 7);
+}
+
+void BM_EngineStepDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto net = MakeNet(n, 1 << 16);
+  const sinr::Engine eng(net);
+  std::vector<std::size_t> tx, listeners;
+  for (int i = 0; i < n; ++i) {
+    if (i % 8 == 0) {
+      tx.push_back(static_cast<std::size_t>(i));
+    } else {
+      listeners.push_back(static_cast<std::size_t>(i));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.Step(tx, listeners));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tx.size()) *
+                          static_cast<std::int64_t>(listeners.size()));
+}
+BENCHMARK(BM_EngineStepDense)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EngineStepSparseTx(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto net = MakeNet(n, 1 << 16);
+  const sinr::Engine eng(net);
+  std::vector<std::size_t> tx{0, static_cast<std::size_t>(n / 2)};
+  std::vector<std::size_t> listeners;
+  for (int i = 1; i < n; ++i) {
+    if (i != n / 2) listeners.push_back(static_cast<std::size_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.Step(tx, listeners));
+  }
+}
+BENCHMARK(BM_EngineStepSparseTx)->Arg(256)->Arg(1024);
+
+void BM_ExecRoundOverhead(benchmark::State& state) {
+  const auto net = MakeNet(256, 1 << 16);
+  sim::Exec ex(net);
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  for (auto _ : state) {
+    ex.RunRound(
+        all,
+        [](std::size_t i) -> std::optional<sim::Message> {
+          if (i % 16 != 0) return std::nullopt;
+          return sim::Message{};
+        },
+        [](std::size_t, const sim::Message&) {});
+  }
+}
+BENCHMARK(BM_ExecRoundOverhead);
+
+void BM_SsfMembership(benchmark::State& state) {
+  const auto ssf = sel::Ssf::Construct(1 << 16, 8);
+  std::int64_t r = 0, x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssf.Member(r, x));
+    r = (r + 1) % ssf.size();
+    x = (x % (1 << 16)) + 1;
+  }
+}
+BENCHMARK(BM_SsfMembership);
+
+void BM_WssMembership(benchmark::State& state) {
+  const auto prof = cluster::Profile::Practical(1 << 16);
+  const auto sched = prof.MakeWss(1 << 16, 1);
+  std::int64_t r = 0;
+  NodeId x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched->Transmits(r, x, 1));
+    r = (r + 1) % sched->size();
+    x = (x % (1 << 16)) + 1;
+  }
+}
+BENCHMARK(BM_WssMembership);
+
+void BM_GainMatrixConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 16;
+  const auto pts =
+      workload::UniformSquare(n, std::sqrt(static_cast<double>(n)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sinr::Network::WithSequentialIds(pts, params));
+  }
+}
+BENCHMARK(BM_GainMatrixConstruction)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace dcc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Leader election + wake-up demo (Theorems 4-5): an ad hoc deployment
+// where a few sensors power on spontaneously, wake the whole field, and
+// the field then elects a single leader — all deterministic, no
+// coordinates, no carrier sensing.
+//
+//   $ ./examples/leader_election_demo [n] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "dcc/bcast/leader_election.h"
+#include "dcc/bcast/wakeup.h"
+#include "dcc/workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace dcc;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 80;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 12;
+
+  auto pts = workload::ConnectedUniform(n, 4.5, params, seed);
+  const sinr::Network net = workload::MakeNetwork(pts, params, seed + 1);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  std::cout << "deployment: " << net.size() << " nodes, density "
+            << net.Density() << ", diameter " << net.Diameter() << "\n\n";
+
+  // --- Wake-up (Theorem 4): three nodes power on by themselves. ---
+  {
+    sim::Exec ex(net);
+    const auto wk = bcast::RunWakeup(
+        ex, prof,
+        {{0, 0}, {net.size() / 2, 0}, {net.size() - 1, 0}},
+        net.Density(), net.Diameter() + 3, seed + 2);
+    std::cout << "wake-up: " << (wk.all_awake ? "all awake" : "INCOMPLETE")
+              << " after " << wk.rounds << " rounds (" << wk.epochs
+              << " epoch(s))\n";
+  }
+
+  // --- Leader election (Theorem 5). ---
+  {
+    std::vector<std::size_t> members(net.size());
+    for (std::size_t i = 0; i < members.size(); ++i) members[i] = i;
+    sim::Exec ex(net);
+    const auto le = bcast::ElectLeader(ex, prof, members, net.Density(),
+                                       net.Diameter() + 3, seed + 3);
+    std::cout << "leader election: leader id " << le.leader << " ("
+              << (le.agreed ? "network-wide agreement" : "DISAGREEMENT")
+              << "), " << le.probes << " binary-search probes, " << le.rounds
+              << " rounds\n";
+    std::cout << "\nThe leader is the minimum-id cluster center: clustering"
+                 "\npicks O(1)-density centers, and each binary-search probe"
+                 "\nruns one multi-source broadcast (Alg. 8) so every node"
+                 "\nobserves the same empty/non-empty bit.\n";
+    return le.agreed ? 0 : 1;
+  }
+}

@@ -1,0 +1,88 @@
+// Lower-bound explorer: builds the Section 6 gadget, prints its geometry,
+// runs the Lemma 13 adversary against a density-aware selector schedule,
+// and replays the jammed rounds so you can watch t stay deaf.
+//
+//   $ ./examples/lower_bound_explorer [delta] [seed]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+
+#include "dcc/lowerbound/adversary.h"
+#include "dcc/lowerbound/gadget.h"
+#include "dcc/sinr/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace dcc;
+
+  const int delta = argc > 1 ? std::atoi(argv[1]) : 10;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  auto params = lowerbound::GadgetParams(3.0, 0.1, 2.0);
+  params.id_space = 1 << 12;
+  const auto g = lowerbound::MakeGadget(delta, params, 2.0);
+
+  std::cout << "gadget, Delta=" << delta << " (alpha=" << params.alpha
+            << ", beta=" << params.beta << ", eps=" << params.eps << "):\n";
+  std::cout << std::fixed << std::setprecision(6);
+  std::cout << "  s   at x=" << g.positions[g.s].x << "\n";
+  for (std::size_t i = 0; i < g.core.size(); ++i) {
+    const double x = g.positions[g.core[i]].x;
+    std::cout << "  v" << i << (i + 1 == g.core.size() ? " (only node t hears)" : "")
+              << " at x=" << x;
+    if (i > 0) {
+      std::cout << "  gap=" << x - g.positions[g.core[i - 1]].x;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "  t   at x=" << g.positions[g.t].x << "\n\n";
+
+  // The algorithm under attack: a deterministic selector schedule with
+  // density-aware parameter k = Delta.
+  const auto trace = lowerbound::SelectorTrace(params.id_space, delta, seed);
+  std::vector<NodeId> pool(static_cast<std::size_t>(delta) + 2);
+  std::iota(pool.begin(), pool.end(), NodeId{100});
+  const auto asg =
+      lowerbound::AssignAdversarialIds(trace, pool, delta, 1 << 15);
+  std::cout << "adversary: pinned id " << asg.core_ids.back()
+            << " to v_{Delta+1}; certified deaf until round "
+            << asg.blocked_until << " (~" << std::setprecision(1)
+            << static_cast<double>(asg.blocked_until) / delta
+            << " x Delta)\n\n";
+
+  // Replay on the real engine.
+  std::vector<NodeId> ids(g.positions.size());
+  ids[g.s] = 1;
+  ids[g.t] = 2;
+  for (std::size_t i = 0; i < g.core.size(); ++i) {
+    ids[g.core[i]] = asg.core_ids[i];
+  }
+  const sinr::Network net(g.positions, ids, params);
+  const sinr::Engine eng(net);
+  int shown = 0;
+  for (Round r = 0; r <= asg.blocked_until && shown < 12; ++r) {
+    std::vector<std::size_t> tx;
+    for (const std::size_t c : g.core) {
+      if (trace(net.id(c), r)) tx.push_back(c);
+    }
+    if (tx.empty()) continue;
+    const bool last_tx =
+        std::find(tx.begin(), tx.end(), g.core.back()) != tx.end();
+    if (!last_tx && shown >= 6) continue;  // show mostly the relevant rounds
+    const auto recs = eng.Step(tx, {g.t});
+    std::cout << "  round " << std::setw(5) << r << ": " << tx.size()
+              << " core transmitter(s)"
+              << (last_tx ? " incl. v_{Delta+1}" : "")
+              << " -> t " << (recs.empty() ? "hears nothing" : "HEARS!")
+              << "\n";
+    ++shown;
+  }
+  std::cout << "  ...\n  round " << std::setw(5) << asg.blocked_until
+            << ": v_{Delta+1} finally transmits alone -> t hears.\n\n"
+            << "This is Theorem 6's Omega(Delta): without randomness,\n"
+            << "coordinates or carrier sensing, the adversary's id choice\n"
+            << "keeps at least two transmitters colliding in every useful\n"
+            << "round, and the geometric gaps make any collision jam the\n"
+            << "entire suffix of the core (Fact 2).\n";
+  return 0;
+}

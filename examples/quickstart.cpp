@@ -1,0 +1,65 @@
+// Quickstart: build a random SINR network, run the deterministic clustering
+// (Alg. 6 / Theorem 1), and inspect the result.
+//
+//   $ ./examples/quickstart [n] [side] [seed]
+//
+// Walks through the core public API:
+//   workload::MakeNetwork  -> a network instance (positions + ids + params)
+//   sim::Exec              -> the shared round clock over the SINR engine
+//   cluster::Profile       -> the algorithm constants
+//   cluster::BuildClustering -> the paper's headline algorithm
+//   cluster::CheckClustering -> geometric validation of the postconditions
+#include <cstdlib>
+#include <iostream>
+
+#include "dcc/cluster/clustering.h"
+#include "dcc/cluster/validate.h"
+#include "dcc/common/table.h"
+#include "dcc/workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace dcc;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 128;
+  const double side = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  // 1. SINR model parameters: alpha=3, beta=1.5, eps=0.2, range 1,
+  //    ids drawn from [1, 4096].
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 12;
+
+  // 2. A workload: n nodes uniform over a side x side field, random ids.
+  auto pts = workload::UniformSquare(n, side, seed);
+  const sinr::Network net = workload::MakeNetwork(pts, params, seed + 1);
+  std::cout << "network: n=" << net.size() << " density=" << net.Density()
+            << " degree=" << net.MaxDegree()
+            << " diameter=" << net.Diameter() << "\n";
+
+  // 3. Run the deterministic clustering. Everything a node uses is public:
+  //    N, the density bound, the SINR parameters and the profile constants.
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  std::vector<std::size_t> members(net.size());
+  for (std::size_t i = 0; i < members.size(); ++i) members[i] = i;
+
+  sim::Exec ex(net);
+  const auto res =
+      cluster::BuildClustering(ex, prof, members, net.Density(), seed + 2);
+  std::cout << "clustering: rounds=" << res.rounds
+            << " levels=" << res.levels << " unassigned=" << res.unassigned
+            << "\n";
+
+  // 4. Validate the paper's postconditions against the real geometry.
+  const auto chk = cluster::CheckClustering(net, members, res.cluster_of);
+  Table t({"check", "value"});
+  t.AddRow({"clusters", Table::Num(std::int64_t{chk.num_clusters})});
+  t.AddRow({"max cluster size", Table::Num(std::int64_t{chk.max_cluster_size})});
+  t.AddRow({"max radius (<= 1)", Table::Num(chk.max_radius)});
+  t.AddRow({"min center separation (>= 1-eps)", Table::Num(chk.min_center_sep)});
+  t.AddRow({"max clusters per unit ball (O(1))",
+            Table::Num(std::int64_t{chk.max_clusters_per_unit_ball})});
+  t.AddRow({"valid 1-clustering",
+            chk.ValidRClustering(1.0, params.eps) ? "yes" : "NO"});
+  t.Print(std::cout);
+  return chk.ValidRClustering(1.0, params.eps) ? 0 : 1;
+}

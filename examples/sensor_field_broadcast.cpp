@@ -1,0 +1,89 @@
+// Sensor-field broadcast: the scenario from the paper's introduction — a
+// large set of sensors scattered over a rescue-operation area, no
+// infrastructure, and a command node that must disseminate an alert to
+// everyone. Runs the deterministic global broadcast (Alg. 8) and renders
+// the wake-up wave as an ASCII map, phase by phase.
+//
+//   $ ./examples/sensor_field_broadcast [blobs] [per_blob] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dcc/bcast/smsb.h"
+#include "dcc/workload/generators.h"
+
+namespace {
+
+// Renders nodes as the phase digit in which they woke ('.' = field).
+void RenderWave(const dcc::sinr::Network& net,
+                const std::vector<int>& awake_phase) {
+  using dcc::Vec2;
+  std::vector<Vec2> pts = net.positions();
+  const dcc::Box box = dcc::BoundingBox(pts);
+  const int W = 76;
+  const double w = std::max(box.hi.x - box.lo.x, 1e-9);
+  const double h = std::max(box.hi.y - box.lo.y, 1e-9);
+  const int H = std::max(6, static_cast<int>(W * h / w / 2.2));
+  std::vector<std::string> canvas(static_cast<std::size_t>(H),
+                                  std::string(static_cast<std::size_t>(W), '.'));
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const int x = static_cast<int>((pts[i].x - box.lo.x) / w * (W - 1));
+    const int y = static_cast<int>((pts[i].y - box.lo.y) / h * (H - 1));
+    const int ph = awake_phase[i];
+    char c = '?';
+    if (ph < 0) {
+      c = 'x';  // never woke
+    } else if (ph <= 9) {
+      c = static_cast<char>('0' + ph);
+    } else {
+      c = '+';
+    }
+    canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = c;
+  }
+  for (const auto& row : canvas) std::cout << "  " << row << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcc;
+
+  const int blobs = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int per_blob = argc > 2 ? std::atoi(argv[2]) : 14;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 9;
+
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 12;
+
+  // Sensor clusters along a valley: dense spots, multi-hop end to end.
+  auto pts = workload::BlobChain(blobs, per_blob, 0.3, 1.2, seed);
+  const sinr::Network net = workload::MakeNetwork(pts, params, seed + 1);
+  if (!net.Connected()) {
+    std::cerr << "field came out disconnected; try another seed\n";
+    return 1;
+  }
+  std::cout << "sensor field: " << net.size() << " sensors, density "
+            << net.Density() << ", " << net.Diameter() << " hops across\n\n";
+
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = bcast::SmsBroadcast(ex, prof, {0}, net.Density(),
+                                       net.Diameter() + 3, seed + 2);
+
+  std::cout << "alert delivered to " << res.awake << "/" << net.size()
+            << " sensors in " << res.phases << " phases, " << res.rounds
+            << " rounds\n\n";
+  std::cout << "wake-up wave (digit = phase a sensor first heard the alert):\n";
+  RenderWave(net, res.awake_phase);
+
+  std::cout << "\nper-phase progress:\n";
+  for (std::size_t p = 0; p < res.phase_stats.size(); ++p) {
+    const auto& ps = res.phase_stats[p];
+    std::cout << "  phase " << (p + 1) << ": cohort " << ps.cohort
+              << " woke " << ps.newly_awake << " (labeling "
+              << ps.label_rounds << "r, broadcast " << ps.sns_rounds
+              << "r, re-clustering " << ps.rr_rounds << "r)\n";
+  }
+  return res.all_awake ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#include "dcc/baselines/decay_global.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcc/common/rng.h"
+
+namespace dcc::baselines {
+
+namespace {
+constexpr std::int32_t kBroadcastMsg = 311;
+}  // namespace
+
+DecayGlobalResult DecayGlobalBroadcast(sim::Exec& ex, std::size_t source,
+                                       int delta, Round budget,
+                                       std::uint64_t seed) {
+  const sinr::Network& net = ex.net();
+  DCC_REQUIRE(source < net.size(), "DecayGlobalBroadcast: bad source");
+  DecayGlobalResult res;
+  res.awake_at.assign(net.size(), Round{-1});
+  res.awake_at[source] = 0;
+
+  const int K = std::max(2, static_cast<int>(std::ceil(std::log2(
+                                std::max(delta, 2)))) + 2);
+  Xoshiro256ss rng(seed);
+  std::vector<std::size_t> awake{source};
+  std::vector<char> is_awake(net.size(), 0);
+  is_awake[source] = 1;
+
+  const Round start = ex.rounds();
+  for (Round t = 0; t < budget; ++t) {
+    // Decay step: probability 2^{-(1 + t mod K)}.
+    const double p = std::pow(2.0, -(1.0 + static_cast<double>(t % K)));
+    std::vector<std::size_t> newly;
+    ex.RunRound(
+        awake,
+        [&](std::size_t) -> std::optional<sim::Message> {
+          if (rng.NextDouble() >= p) return std::nullopt;
+          sim::Message m;
+          m.kind = kBroadcastMsg;
+          return m;
+        },
+        [&](std::size_t listener, const sim::Message& m) {
+          if (m.kind != kBroadcastMsg || is_awake[listener]) return;
+          is_awake[listener] = 1;
+          res.awake_at[listener] = ex.rounds() - start;
+          newly.push_back(listener);
+        });
+    awake.insert(awake.end(), newly.begin(), newly.end());
+    if (awake.size() == net.size()) break;
+  }
+
+  res.awake = awake.size();
+  res.all_awake = res.awake == net.size();
+  res.rounds = ex.rounds() - start;
+  return res;
+}
+
+}  // namespace dcc::baselines

@@ -1,0 +1,26 @@
+// Randomized global-broadcast baseline for Table 2 (Decay-style, after
+// Bar-Yehuda et al. adapted to SINR — the regime of [10]/[25]'s
+// O(D log^2 n) randomized algorithms): awake message-holders cycle through
+// exponentially decaying transmission probabilities 1/2, 1/4, ..., 1/2^K
+// with K = ceil(log2 Delta) + 2; sleepers wake on first reception.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/sim/runner.h"
+
+namespace dcc::baselines {
+
+struct DecayGlobalResult {
+  Round rounds = 0;          // until all awake (or budget exhausted)
+  bool all_awake = false;
+  std::size_t awake = 0;
+  std::vector<Round> awake_at;  // by node index, -1 = never
+};
+
+DecayGlobalResult DecayGlobalBroadcast(sim::Exec& ex, std::size_t source,
+                                       int delta, Round budget,
+                                       std::uint64_t seed);
+
+}  // namespace dcc::baselines

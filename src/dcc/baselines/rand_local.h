@@ -1,0 +1,39 @@
+// Randomized local-broadcast baselines for Table 1.
+//
+//  * `RandLocalBroadcastKnown` — Goussevskaia et al. [16] with known Delta:
+//    every node transmits with probability p = c/Delta each round, for
+//    O(Delta log n) rounds (success w.h.p.).
+//  * `RandLocalBroadcastUnknown` — the doubling variant for unknown Delta
+//    ([16] O(Delta log^3 n) regime): epochs e = 1, 2, ... guess
+//    Delta_e = 2^e and run c * Delta_e * log n rounds at p = c'/Delta_e.
+//
+// Both report the round at which the oracle observed full cumulative
+// coverage (every node's message heard by every comm-graph neighbor) and
+// whether coverage completed within the budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/sim/runner.h"
+
+namespace dcc::baselines {
+
+struct RandLocalResult {
+  Round rounds_budget = 0;   // rounds the protocol runs (it never knows)
+  Round rounds_to_cover = 0; // oracle: when the last node completed
+  bool covered = false;
+  std::size_t members = 0;
+  std::size_t covered_nodes = 0;
+};
+
+RandLocalResult RandLocalBroadcastKnown(sim::Exec& ex,
+                                        const std::vector<std::size_t>& members,
+                                        int delta, double c_prob,
+                                        double c_len, std::uint64_t seed);
+
+RandLocalResult RandLocalBroadcastUnknown(
+    sim::Exec& ex, const std::vector<std::size_t>& members, int max_delta,
+    double c_prob, double c_len, std::uint64_t seed);
+
+}  // namespace dcc::baselines

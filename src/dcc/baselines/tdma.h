@@ -1,0 +1,30 @@
+// Trivial deterministic baselines over the ID space.
+//
+//  * `TdmaLocalBroadcast`: round r lets the unique node with id ≡ r
+//    (mod N) transmit — no interference ever, local broadcast completes in
+//    exactly N rounds. The deterministic strawman of Table 1: correct, but
+//    Theta(N) instead of ~Delta * polylog(N).
+//  * `TdmaGlobalBroadcast`: D sweeps of the same schedule propagate a
+//    message from the source — Theta(D * N).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/sim/runner.h"
+
+namespace dcc::baselines {
+
+struct TdmaResult {
+  Round rounds = 0;
+  bool complete = false;
+  std::size_t reached = 0;
+};
+
+TdmaResult TdmaLocalBroadcast(sim::Exec& ex,
+                              const std::vector<std::size_t>& members);
+
+TdmaResult TdmaGlobalBroadcast(sim::Exec& ex, std::size_t source,
+                               int max_sweeps);
+
+}  // namespace dcc::baselines

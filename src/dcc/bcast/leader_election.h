@@ -1,0 +1,31 @@
+// Leader election (Theorem 5): elects exactly one node network-wide in
+// O(D(Delta + log* N) log^2 N) rounds.
+//
+// Scheme: Clustering selects the O(1)-density center set S; binary search
+// over the ID space then isolates the minimum-ID center: each probe runs
+// SMSBroadcast sourced at the centers whose IDs fall in the probed range —
+// every node observes "heard something" iff the range is non-empty, so all
+// nodes shrink the range consistently. O(log N) probes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/sim/runner.h"
+
+namespace dcc::bcast {
+
+struct LeaderElectionResult {
+  Round rounds = 0;
+  NodeId leader = kNoNode;
+  bool agreed = false;   // every node derived the same leader
+  int probes = 0;        // SMSB executions
+};
+
+LeaderElectionResult ElectLeader(sim::Exec& ex, const cluster::Profile& prof,
+                                 const std::vector<std::size_t>& members,
+                                 int gamma, int max_phases,
+                                 std::uint64_t nonce);
+
+}  // namespace dcc::bcast

@@ -1,0 +1,114 @@
+#include "dcc/bcast/local_broadcast.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dcc/bcast/sns.h"
+#include "dcc/cluster/clustering.h"
+#include "dcc/cluster/labeling.h"
+
+namespace dcc::bcast {
+
+namespace {
+constexpr std::int32_t kPayloadMsg = 201;
+}  // namespace
+
+LocalBroadcastResult LocalBroadcast(sim::Exec& ex,
+                                    const cluster::Profile& prof,
+                                    const std::vector<std::size_t>& members,
+                                    int gamma, std::uint64_t nonce) {
+  const sinr::Network& net = ex.net();
+  LocalBroadcastResult res;
+  res.members = members.size();
+  const Round start = ex.rounds();
+
+  // Stage 1: 1-clustering of the whole set (Theorem 1).
+  cluster::ClusteringResult cl =
+      cluster::BuildClustering(ex, prof, members, gamma, nonce);
+  res.clustering_rounds = cl.rounds;
+  res.cluster_of = cl.cluster_of;
+
+  // Stage 2: imperfect labeling within clusters (Lemma 11).
+  cluster::LabelingResult lab = cluster::ImperfectLabeling(
+      ex, prof, members, res.cluster_of, gamma, HashCombine(nonce, 0x6001u));
+  res.labeling_rounds = lab.rounds;
+
+  // Success oracle: per member, which comm-graph neighbors heard it, and
+  // whether one round covered all of them.
+  const auto& comm = net.CommGraph();
+  std::vector<std::unordered_set<std::size_t>> covered(net.size());
+  std::vector<char> single_round(net.size(), 0);
+  auto observer = [&](Round, const std::vector<std::size_t>& tx,
+                      const std::vector<sinr::Reception>& recs) {
+    // Group receptions by sender.
+    for (const std::size_t v : tx) {
+      std::size_t got = 0;
+      for (const auto& r : recs) {
+        if (r.sender != v) continue;
+        covered[v].insert(r.listener);
+      }
+      // single-round check: every comm neighbor of v received from v now
+      bool all = true;
+      for (const std::size_t w : comm[v]) {
+        bool found = false;
+        for (const auto& r : recs) {
+          if (r.sender == v && r.listener == w) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          all = false;
+          break;
+        }
+        ++got;
+      }
+      if (all) single_round[v] = 1;
+      (void)got;
+    }
+  };
+  ex.SetObserver(observer);
+
+  // Stage 3: Delta runs of SNS, the l-th by nodes labeled l. The label
+  // bound is the clustered density (<= gamma), a public quantity.
+  const Round sns_start = ex.rounds();
+  const int max_label = std::max(gamma, lab.max_label);
+  for (int l = 1; l <= max_label; ++l) {
+    std::vector<sim::Participant> parts;
+    for (const std::size_t idx : members) {
+      const auto it = lab.label.find(net.id(idx));
+      if (it != lab.label.end() && it->second == l) {
+        parts.push_back(
+            sim::Participant{idx, net.id(idx), res.cluster_of[idx]});
+      }
+    }
+    if (parts.empty() && prof.early_stop) continue;
+    RunSns(
+        ex, prof, parts,
+        [&](std::size_t) -> std::optional<sim::Message> {
+          sim::Message m;
+          m.kind = kPayloadMsg;
+          return m;
+        },
+        [&](std::size_t, const sim::Message&) {},
+        HashCombine(nonce, 0x6100u + l));
+  }
+  res.sns_rounds = ex.rounds() - sns_start;
+  ex.SetObserver(nullptr);
+
+  for (const std::size_t v : members) {
+    if (single_round[v]) ++res.covered_single_round;
+    bool all = true;
+    for (const std::size_t w : comm[v]) {
+      if (!covered[v].count(w)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++res.covered_cumulative;
+  }
+  res.rounds = ex.rounds() - start;
+  return res;
+}
+
+}  // namespace dcc::bcast

@@ -1,0 +1,134 @@
+#include "dcc/bcast/smsb.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dcc/bcast/sns.h"
+#include "dcc/cluster/labeling.h"
+#include "dcc/cluster/radius_reduction.h"
+
+namespace dcc::bcast {
+
+namespace {
+constexpr std::int32_t kBroadcastMsg = 211;
+}  // namespace
+
+SmsbResult SmsBroadcast(sim::Exec& ex, const cluster::Profile& prof,
+                        const std::vector<std::size_t>& sources, int gamma,
+                        int max_phases, std::uint64_t nonce) {
+  const sinr::Network& net = ex.net();
+  DCC_REQUIRE(!sources.empty(), "SmsBroadcast: need at least one source");
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (std::size_t j = i + 1; j < sources.size(); ++j) {
+      DCC_REQUIRE(net.Distance(sources[i], sources[j]) >
+                      1.0 - net.params().eps,
+                  "SmsBroadcast: sources must be pairwise > 1-eps apart");
+    }
+  }
+
+  const Round start = ex.rounds();
+  SmsbResult res;
+  res.awake_phase.assign(net.size(), -1);
+  res.cluster_of.assign(net.size(), kNoCluster);
+
+  // Phase 0: sources broadcast over SNS; receivers wake under the source's
+  // cluster (cluster id = source id).
+  std::vector<sim::Participant> src_parts;
+  for (const std::size_t s : sources) {
+    src_parts.push_back(sim::Participant{s, net.id(s), net.id(s)});
+    res.awake_phase[s] = 0;
+    res.cluster_of[s] = net.id(s);
+  }
+  std::vector<std::size_t> cohort;  // L_1
+  RunSns(
+      ex, prof, src_parts,
+      [&](std::size_t idx) -> std::optional<sim::Message> {
+        sim::Message m;
+        m.kind = kBroadcastMsg;
+        m.cluster = net.id(idx);
+        return m;
+      },
+      [&](std::size_t listener, const sim::Message& m) {
+        if (m.kind != kBroadcastMsg) return;
+        if (res.awake_phase[listener] >= 0) return;
+        res.awake_phase[listener] = 1;
+        res.cluster_of[listener] = m.cluster;
+        cohort.push_back(listener);
+      },
+      HashCombine(nonce, 0x7000u));
+
+  // Phases i = 1, 2, ...: the cohort labels itself, locally broadcasts (by
+  // label), wakes the next cohort, and the next cohort re-clusters.
+  int phase = 1;
+  for (; phase <= max_phases && !cohort.empty(); ++phase) {
+    SmsbPhase ps;
+    ps.cohort = cohort.size();
+    const std::uint64_t pn = HashCombine(nonce, 0x7100u + phase);
+
+    // Stage 1: imperfect labeling of the cohort.
+    cluster::LabelingResult lab = cluster::ImperfectLabeling(
+        ex, prof, cohort, res.cluster_of, gamma, HashCombine(pn, 1u));
+    ps.label_rounds = lab.rounds;
+
+    // Stage 2: Delta SNS runs; hearers wake and inherit clusters.
+    std::vector<std::size_t> next_cohort;
+    const Round sns_start = ex.rounds();
+    const int max_label = std::max(gamma, lab.max_label);
+    for (int l = 1; l <= max_label; ++l) {
+      std::vector<sim::Participant> parts;
+      for (const std::size_t idx : cohort) {
+        const auto it = lab.label.find(net.id(idx));
+        const int node_label = it == lab.label.end() ? 1 : it->second;
+        if (node_label == l) {
+          parts.push_back(
+              sim::Participant{idx, net.id(idx), res.cluster_of[idx]});
+        }
+      }
+      if (parts.empty() && prof.early_stop) continue;
+      RunSns(
+          ex, prof, parts,
+          [&](std::size_t idx) -> std::optional<sim::Message> {
+            sim::Message m;
+            m.kind = kBroadcastMsg;
+            m.cluster = res.cluster_of[idx];
+            return m;
+          },
+          [&](std::size_t listener, const sim::Message& m) {
+            if (m.kind != kBroadcastMsg) return;
+            if (res.awake_phase[listener] >= 0) return;
+            res.awake_phase[listener] = phase + 1;
+            res.cluster_of[listener] = m.cluster;  // inherit: 2-clustering
+            next_cohort.push_back(listener);
+          },
+          HashCombine(pn, 0x100u + l));
+    }
+    ps.sns_rounds = ex.rounds() - sns_start;
+    ps.newly_awake = next_cohort.size();
+
+    // Stage 3: reduce the inherited 2-clustering of L_{i+1} to radius 1.
+    if (!next_cohort.empty()) {
+      const Round rr_start = ex.rounds();
+      cluster::RadiusReduction(ex, prof, next_cohort, res.cluster_of, gamma,
+                               HashCombine(pn, 3u));
+      ps.rr_rounds = ex.rounds() - rr_start;
+      std::unordered_set<ClusterId> distinct;
+      for (const std::size_t idx : next_cohort) {
+        distinct.insert(res.cluster_of[idx]);
+      }
+      ps.clusters = static_cast<int>(distinct.size());
+    }
+
+    res.phase_stats.push_back(ps);
+    cohort = std::move(next_cohort);
+  }
+
+  res.phases = phase - 1;
+  for (const int ph : res.awake_phase) {
+    if (ph >= 0) ++res.awake;
+  }
+  res.all_awake = res.awake == net.size();
+  res.rounds = ex.rounds() - start;
+  return res;
+}
+
+}  // namespace dcc::bcast

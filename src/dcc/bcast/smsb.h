@@ -1,0 +1,52 @@
+// Sparse multiple-source broadcast (Alg. 8, Theorem 3) — the global
+// broadcast algorithm when |S| = 1.
+//
+// Phase 0: the sources (pairwise > 1-eps apart) run one SNS; receivers wake
+// and cluster under their awakener. Each later phase on the set L_i of
+// nodes awakened in the previous phase:
+//   Stage 1  imperfect labeling of L_i,
+//   Stage 2  Delta SNS runs by label — every L_i node locally broadcasts
+//            the payload; hearers wake and inherit the sender's cluster
+//            (2-clustering of L_{i+1}),
+//   Stage 3  RadiusReduction -> 1-clustering of L_{i+1}.
+// Runs until a full phase wakes nobody new (so the last cohort still
+// performs its local broadcast, satisfying condition (b) of the SMSB
+// problem) or `max_phases` elapses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/sim/runner.h"
+
+namespace dcc::bcast {
+
+struct SmsbPhase {
+  Round label_rounds = 0;
+  Round sns_rounds = 0;
+  Round rr_rounds = 0;
+  std::size_t cohort = 0;       // |L_i|
+  std::size_t newly_awake = 0;  // |L_{i+1}|
+  int clusters = 0;             // distinct clusters among L_{i+1} after RR
+};
+
+struct SmsbResult {
+  Round rounds = 0;
+  int phases = 0;
+  bool all_awake = false;
+  std::size_t awake = 0;
+  std::vector<int> awake_phase;      // by node index; -1 = never woke
+  std::vector<ClusterId> cluster_of; // final clustering of awake nodes
+  std::vector<SmsbPhase> phase_stats;
+};
+
+// `sources` are node indices, pairwise further than 1 - eps apart (SMSB
+// precondition; checked). `gamma` is the public density bound Delta;
+// `max_phases` the public diameter bound D (the loop also stops as soon as
+// a phase wakes nobody).
+SmsbResult SmsBroadcast(sim::Exec& ex, const cluster::Profile& prof,
+                        const std::vector<std::size_t>& sources, int gamma,
+                        int max_phases, std::uint64_t nonce);
+
+}  // namespace dcc::bcast

@@ -1,0 +1,26 @@
+#include "dcc/bcast/sns.h"
+
+namespace dcc::bcast {
+
+Round RunSns(sim::Exec& ex, const cluster::Profile& prof,
+             const std::vector<sim::Participant>& parts,
+             const std::function<std::optional<sim::Message>(std::size_t)>&
+                 make_msg,
+             const std::function<void(std::size_t, const sim::Message&)>& hear,
+             std::uint64_t nonce) {
+  const Round start = ex.rounds();
+  const auto sns = prof.MakeSns(ex.net().params().id_space, nonce);
+  sim::ExecuteSchedule(
+      ex, *sns, parts,
+      [&](std::size_t idx, std::int64_t) -> std::optional<sim::Message> {
+        auto m = make_msg(idx);
+        if (m && m->src == kNoNode) m->src = ex.net().id(idx);
+        return m;
+      },
+      [&](std::size_t listener, const sim::Message& m, std::int64_t) {
+        hear(listener, m);
+      });
+  return ex.rounds() - start;
+}
+
+}  // namespace dcc::bcast

@@ -1,0 +1,32 @@
+// Sparse Network Schedule (Lemma 4): an O(log N)-round schedule such that
+// when the participant set has constant density, every participant's
+// message is received at every node within distance 1 - eps.
+//
+// Thin wrapper over the profile's SNS selector with a success oracle used
+// by tests (reception tracked against the ground-truth communication
+// graph).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/sim/runner.h"
+#include "dcc/sim/schedule.h"
+
+namespace dcc::bcast {
+
+// Executes one SNS over `parts`; `make_msg(index)` builds each
+// participant's message (its id is filled into src automatically when the
+// returned message has src == kNoNode); `hear` fires for every reception at
+// any listener. Returns rounds consumed.
+Round RunSns(sim::Exec& ex, const cluster::Profile& prof,
+             const std::vector<sim::Participant>& parts,
+             const std::function<std::optional<sim::Message>(std::size_t)>&
+                 make_msg,
+             const std::function<void(std::size_t, const sim::Message&)>& hear,
+             std::uint64_t nonce);
+
+}  // namespace dcc::bcast

@@ -1,0 +1,31 @@
+// The wake-up problem (Theorem 4): nodes become active spontaneously at
+// adversary-chosen rounds (global clock available); activated nodes must
+// activate the whole network. Scheme: at every epoch boundary, the nodes
+// already awake run Clustering; the resulting cluster centers (pairwise
+// > 1-eps apart — a valid SMSB source set) run SMSBroadcast.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/sim/runner.h"
+
+namespace dcc::bcast {
+
+struct WakeupResult {
+  Round rounds = 0;       // from first spontaneous wake-up to all awake
+  int epochs = 0;
+  bool all_awake = false;
+  std::vector<Round> awake_at;  // by node index; -1 = never
+};
+
+// `spontaneous` lists (node index, round) spontaneous activations; at least
+// one required. `gamma` and `max_phases` are the public Delta and D bounds.
+WakeupResult RunWakeup(sim::Exec& ex, const cluster::Profile& prof,
+                       const std::vector<std::pair<std::size_t, Round>>&
+                           spontaneous,
+                       int gamma, int max_phases, std::uint64_t nonce);
+
+}  // namespace dcc::bcast

@@ -1,0 +1,40 @@
+// Clustering (Alg. 6, Theorem 1): builds a 1-clustering of an *unclustered*
+// set in O(Gamma log N log* N) rounds.
+//
+// Phase 1 (thinning): k = ceil(log_{4/3} Gamma) rounds of unclustered
+// sparsification chains (Alg. 3) with geometrically decaying density bound,
+// recording every level's parent links and exchange stages.
+//
+// Phase 2 (re-clustering): the final sparse core self-clusters (cluster id
+// = own id); levels are then replayed bottom-up — children inherit their
+// parent's cluster id (giving a 2-clustering of the level), and
+// RadiusReduction rebuilds a 1-clustering before the next level joins.
+//
+// Postconditions (validated geometrically in tests): every member is
+// assigned; each cluster fits in a unit ball around its center; centers are
+// pairwise > 1 - eps apart; every unit ball meets O(1) clusters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/sim/runner.h"
+
+namespace dcc::cluster {
+
+struct ClusteringResult {
+  // Indexed by node index; kNoCluster for non-members (and for members the
+  // pipeline failed to assign, counted in `unassigned` — zero under a
+  // sufficient profile).
+  std::vector<ClusterId> cluster_of;
+  std::size_t unassigned = 0;
+  Round rounds = 0;
+  int levels = 0;  // sparsification levels executed
+};
+
+ClusteringResult BuildClustering(sim::Exec& ex, const Profile& prof,
+                                 const std::vector<std::size_t>& members,
+                                 int gamma, std::uint64_t nonce);
+
+}  // namespace dcc::cluster

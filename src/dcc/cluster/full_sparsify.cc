@@ -1,0 +1,43 @@
+#include "dcc/cluster/full_sparsify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcc/common/math_util.h"
+
+namespace dcc::cluster {
+
+FullSparsifyResult FullSparsify(sim::Exec& ex, const Profile& prof,
+                                const std::vector<std::size_t>& members,
+                                const std::vector<ClusterId>& cluster_of,
+                                int gamma, std::uint64_t nonce) {
+  const Round start = ex.rounds();
+  FullSparsifyResult res;
+  res.levels.push_back(members);
+
+  const int k = CeilLog43(std::max(1.0, static_cast<double>(gamma)));
+  double lambda = static_cast<double>(gamma);
+  for (int i = 1; i <= k; ++i) {
+    const int lam = std::max(1, static_cast<int>(std::ceil(lambda)));
+    SparsifyResult r = Sparsify(ex, prof, res.levels.back(), cluster_of, lam,
+                                /*clustered=*/true,
+                                HashCombine(nonce, 0x2000u + i));
+    const int stage_offset = static_cast<int>(res.stages.size());
+    for (auto& st : r.stages) res.stages.push_back(std::move(st));
+    for (const auto& [child, link] : r.links) {
+      res.links[child] = ParentLink{link.parent, link.stage + stage_offset};
+    }
+    res.levels.push_back(std::move(r.returned));
+    lambda *= 0.75;
+    if (prof.early_stop && res.levels.back().size() ==
+                               res.levels[res.levels.size() - 2].size()) {
+      // Fixpoint: further sparsification cannot retire anyone (instrumented
+      // shortcut; the level chain below the fixpoint is constant).
+      break;
+    }
+  }
+  res.rounds = ex.rounds() - start;
+  return res;
+}
+
+}  // namespace dcc::cluster

@@ -1,0 +1,33 @@
+// FullSparsification (Alg. 4, Lemma 10): iterates clustered Sparsification
+// with a geometrically decaying density bound, producing the nested chain
+//   A_0 ⊇ A_1 ⊇ ... ⊇ A_k,  density(A_i) <= max(Gamma*(3/4)^i, O(1)),
+// where every node retired between levels has a same-cluster parent one
+// level up, reachable through the recorded exchange stages. The resulting
+// parent forest splits every cluster into O(1) trees rooted in A_k — the
+// backbone of imperfect labeling (Lemma 11) and radius reduction (Alg. 5).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dcc/cluster/sparsify.h"
+
+namespace dcc::cluster {
+
+struct FullSparsifyResult {
+  // levels[0] = input set; levels[i] = result after i sparsifications.
+  std::vector<std::vector<std::size_t>> levels;
+  std::unordered_map<NodeId, ParentLink> links;  // stage indices -> `stages`
+  std::vector<ExchangeStage> stages;
+  Round rounds = 0;
+
+  const std::vector<std::size_t>& final_set() const { return levels.back(); }
+};
+
+FullSparsifyResult FullSparsify(sim::Exec& ex, const Profile& prof,
+                                const std::vector<std::size_t>& members,
+                                const std::vector<ClusterId>& cluster_of,
+                                int gamma, std::uint64_t nonce);
+
+}  // namespace dcc::cluster

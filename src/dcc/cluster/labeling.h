@@ -1,0 +1,40 @@
+// Imperfect labeling of clusters (Lemma 11).
+//
+// Given an r-clustered set of density Gamma, assigns every node a label in
+// [1, Gamma] such that within each cluster every label is used at most c
+// times, for a constant c. The construction runs FullSparsification, whose
+// parent forest splits each cluster into O(1) trees, then performs a
+// tree-labeling over the recorded exchange stages:
+//
+//  * bottom-up (stages replayed in execution order — children are always
+//    linked at earlier stages than their parents): each child reports its
+//    subtree size; parents accumulate.
+//  * top-down (stages replayed in reverse, `label_reps` repetitions per
+//    stage to address multiple same-stage children): each parent splits its
+//    remaining label range among children; every node labels itself with
+//    the head of its range.
+//
+// Within a tree labels are unique in [1, tree size]; across the O(1) trees
+// of one cluster labels collide at most c times.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dcc/cluster/full_sparsify.h"
+
+namespace dcc::cluster {
+
+struct LabelingResult {
+  std::unordered_map<NodeId, int> label;  // 1-based, <= Gamma
+  int max_label = 0;
+  Round rounds = 0;
+};
+
+LabelingResult ImperfectLabeling(sim::Exec& ex, const Profile& prof,
+                                 const std::vector<std::size_t>& members,
+                                 const std::vector<ClusterId>& cluster_of,
+                                 int gamma, std::uint64_t nonce);
+
+}  // namespace dcc::cluster

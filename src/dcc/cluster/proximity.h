@@ -1,0 +1,46 @@
+// ProximityGraphConstruction (Alg. 1, Lemma 7).
+//
+// Builds, for a (clustered) active set, a constant-degree graph H that
+// contains every close pair (Definition 1) as an edge, in O(log N) rounds:
+//
+//   Exchange phase:      execute the wss/wcss schedule S once; every node
+//                        records who it heard and in which rounds.
+//   Filtering phase:     v drops w from its candidate set if v heard some
+//                        u != w in a round where the public schedule had w
+//                        transmitting — the "witnessed" implicit collision
+//                        detection. Candidate sets larger than kappa purge.
+//   Confirmation phase:  kappa repetitions of S; repetition j carries v's
+//                        j-th candidate <v, u>; mutual candidates become
+//                        edges.
+//
+// The returned adjacency uses positions into `parts`. The schedule is
+// returned so callers can replay it: every reception along an H-edge that
+// happened in the exchange phase recurs in any replay whose transmitter
+// sets are subsets of the exchange-phase ones (the SINR "subset argument":
+// removing interferers can only help the strongest sender).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/sim/runner.h"
+#include "dcc/sim/schedule.h"
+
+namespace dcc::cluster {
+
+struct ProximityResult {
+  // adj[p] = positions (into parts) of p's H-neighbors; degree <= kappa.
+  std::vector<std::vector<std::size_t>> adj;
+  std::shared_ptr<const sim::Schedule> schedule;
+  Round rounds = 0;
+};
+
+// `clustered` selects the wcss (cluster-aware) variant; in that mode
+// messages from other clusters are ignored and edges stay intra-cluster.
+ProximityResult BuildProximityGraph(sim::Exec& ex, const Profile& prof,
+                                    const std::vector<sim::Participant>& parts,
+                                    bool clustered, std::uint64_t nonce);
+
+}  // namespace dcc::cluster

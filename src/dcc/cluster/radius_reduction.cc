@@ -1,0 +1,153 @@
+#include "dcc/cluster/radius_reduction.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dcc/cluster/full_sparsify.h"
+#include "dcc/mis/local_mis.h"
+
+namespace dcc::cluster {
+
+namespace {
+
+constexpr std::int32_t kHelloMsg = 131;
+constexpr std::int32_t kMisStateMsg = 132;
+constexpr std::int32_t kNewClusterMsg = 133;
+
+}  // namespace
+
+RadiusReductionStats RadiusReduction(sim::Exec& ex, const Profile& prof,
+                                     const std::vector<std::size_t>& members,
+                                     std::vector<ClusterId>& cluster_of,
+                                     int gamma, std::uint64_t nonce) {
+  const sinr::Network& net = ex.net();
+  const std::int64_t N = net.params().id_space;
+  const Round start = ex.rounds();
+  RadiusReductionStats stats;
+
+  std::vector<std::size_t> X = members;  // still-unassigned nodes
+  std::unordered_map<std::size_t, ClusterId> newcluster;
+  std::unordered_set<std::size_t> member_set(members.begin(), members.end());
+
+  const int hard_cap = prof.early_stop ? 4 * prof.rr_iters : prof.rr_iters;
+  for (int it = 0; it < hard_cap && !X.empty(); ++it) {
+    if (!prof.early_stop && it >= prof.rr_iters) break;
+    const std::uint64_t it_nonce = HashCombine(nonce, 0x3000u + it);
+
+    // 1) Thin X to a constant-density core (keeps >= 1 node per cluster).
+    FullSparsifyResult full = FullSparsify(ex, prof, X, cluster_of,
+                                           std::max(gamma, 2), it_nonce);
+    const std::vector<std::size_t>& core = full.final_set();
+    if (core.empty()) break;
+
+    std::vector<sim::Participant> core_parts;
+    core_parts.reserve(core.size());
+    std::unordered_map<std::size_t, std::size_t> core_pos;
+    for (const std::size_t idx : core) {
+      core_pos.emplace(idx, core_parts.size());
+      core_parts.push_back(sim::Participant{idx, net.id(idx), kNoCluster});
+    }
+
+    const auto sns = prof.MakeSns(N, it_nonce);
+
+    // 2) Hello exchange over SNS: core nodes learn the core nodes they can
+    //    hear — the graph G of Alg. 5 line 5.
+    std::vector<std::vector<std::size_t>> g_adj(core_parts.size());
+    sim::ExecuteSchedule(
+        ex, *sns, core_parts,
+        [&](std::size_t idx, std::int64_t) -> std::optional<sim::Message> {
+          sim::Message m;
+          m.src = net.id(idx);
+          m.kind = kHelloMsg;
+          return m;
+        },
+        [&](std::size_t listener, const sim::Message& m, std::int64_t) {
+          if (m.kind != kHelloMsg) return;
+          const auto it2 = core_pos.find(listener);
+          if (it2 == core_pos.end()) return;
+          g_adj[it2->second].push_back(
+              core_pos.at(net.IndexOf(m.src)));
+        });
+    for (auto& a : g_adj) {
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+    }
+
+    // 3) MIS of G via local-minima rounds; one SNS replay per LOCAL round.
+    std::vector<mis::MisState> state(core_parts.size(),
+                                     mis::MisState::kUndecided);
+    const int mis_cap = std::max(prof.mis_rounds, 1);
+    for (int r = 0; r < mis_cap; ++r) {
+      std::vector<std::vector<std::pair<NodeId, mis::MisState>>> inbox(
+          core_parts.size());
+      sim::ExecuteSchedule(
+          ex, *sns, core_parts,
+          [&](std::size_t idx, std::int64_t) -> std::optional<sim::Message> {
+            const std::size_t p = core_pos.at(idx);
+            sim::Message m;
+            m.src = net.id(idx);
+            m.kind = kMisStateMsg;
+            m.a = static_cast<std::int64_t>(state[p]);
+            return m;
+          },
+          [&](std::size_t listener, const sim::Message& m, std::int64_t) {
+            if (m.kind != kMisStateMsg) return;
+            const auto it2 = core_pos.find(listener);
+            if (it2 == core_pos.end()) return;
+            inbox[it2->second].emplace_back(m.src,
+                                            static_cast<mis::MisState>(m.a));
+          });
+      bool changed = false;
+      std::vector<mis::MisState> next(state);
+      for (std::size_t p = 0; p < core_parts.size(); ++p) {
+        next[p] = mis::LocalMinimaStep(core_parts[p].id, state[p], inbox[p]);
+        changed = changed || next[p] != state[p];
+      }
+      state = std::move(next);
+      if (prof.early_stop && !changed) break;
+    }
+
+    // 4) Centers broadcast over SNS; unassigned members adopt the first
+    //    center they hear (Alg. 5 lines 7-10).
+    std::vector<sim::Participant> centers;
+    for (std::size_t p = 0; p < core_parts.size(); ++p) {
+      if (state[p] == mis::MisState::kInMis) centers.push_back(core_parts[p]);
+    }
+    if (centers.empty()) continue;  // nothing decided; try next iteration
+    std::unordered_set<std::size_t> x_set(X.begin(), X.end());
+    sim::ExecuteSchedule(
+        ex, *sns, centers,
+        [&](std::size_t idx, std::int64_t) -> std::optional<sim::Message> {
+          sim::Message m;
+          m.src = net.id(idx);
+          m.kind = kNewClusterMsg;
+          return m;
+        },
+        [&](std::size_t listener, const sim::Message& m, std::int64_t) {
+          if (m.kind != kNewClusterMsg) return;
+          if (!x_set.count(listener)) return;
+          if (newcluster.count(listener)) return;  // first reception wins
+          newcluster.emplace(listener, m.src);
+        });
+    for (const auto& c : centers) {
+      newcluster[c.index] = c.id;  // centers name their own cluster
+    }
+
+    // 5) Retire assigned nodes.
+    std::vector<std::size_t> next_x;
+    for (const std::size_t idx : X) {
+      if (!newcluster.count(idx)) next_x.push_back(idx);
+    }
+    X = std::move(next_x);
+    stats.iterations = it + 1;
+  }
+
+  for (const auto& [idx, phi] : newcluster) cluster_of[idx] = phi;
+  stats.unassigned = X.size();
+  stats.rounds = ex.rounds() - start;
+  return stats;
+}
+
+}  // namespace dcc::cluster

@@ -1,0 +1,36 @@
+// RadiusReduction (Alg. 5, Lemma 12): turns an r-clustering (r = O(1)) of a
+// set X into a 1-clustering in O((Gamma + log* N) log N) rounds.
+//
+// Each iteration: FullSparsification thins X to a constant-density core;
+// the core runs a Sparse Network Schedule to learn its neighborhood graph
+// G, computes a MIS D of G (LOCAL rounds simulated by SNS replays), and D
+// broadcasts — every node hearing some d in D joins d's new cluster and
+// retires. MIS independence puts the new centers pairwise further than
+// 1 - eps apart; reception range caps the new radius at 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/sim/runner.h"
+
+namespace dcc::cluster {
+
+struct RadiusReductionStats {
+  Round rounds = 0;
+  int iterations = 0;
+  std::size_t unassigned = 0;  // members that never heard a center (0 when
+                               // the iteration budget suffices — Lemma 12)
+};
+
+// Rewrites cluster_of[idx] for idx in `members` with the new 1-clustering
+// (cluster id = center's node id). The incoming clustering is the
+// r-clustering being reduced; it is consumed as wcss keys during the
+// internal sparsifications.
+RadiusReductionStats RadiusReduction(sim::Exec& ex, const Profile& prof,
+                                     const std::vector<std::size_t>& members,
+                                     std::vector<ClusterId>& cluster_of,
+                                     int gamma, std::uint64_t nonce);
+
+}  // namespace dcc::cluster

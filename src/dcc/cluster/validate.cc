@@ -1,0 +1,155 @@
+#include "dcc/cluster/validate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dcc/common/geometry.h"
+
+namespace dcc::cluster {
+
+ClusteringCheck CheckClustering(const sinr::Network& net,
+                                const std::vector<std::size_t>& members,
+                                const std::vector<ClusterId>& cluster_of) {
+  ClusteringCheck chk;
+  chk.members = members.size();
+
+  std::unordered_map<ClusterId, std::vector<std::size_t>> by_cluster;
+  for (const std::size_t idx : members) {
+    const ClusterId phi = cluster_of[idx];
+    if (phi == kNoCluster) continue;
+    ++chk.assigned;
+    by_cluster[phi].push_back(idx);
+  }
+  chk.num_clusters = static_cast<int>(by_cluster.size());
+
+  std::vector<Vec2> centers;
+  for (const auto& [phi, idxs] : by_cluster) {
+    chk.max_cluster_size =
+        std::max(chk.max_cluster_size, static_cast<int>(idxs.size()));
+    if (!net.HasId(phi)) {
+      chk.centers_exist = false;
+      continue;
+    }
+    const Vec2 c = net.position(net.IndexOf(phi));
+    centers.push_back(c);
+    for (const std::size_t idx : idxs) {
+      chk.max_radius = std::max(chk.max_radius, Dist(c, net.position(idx)));
+    }
+  }
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    for (std::size_t j = i + 1; j < centers.size(); ++j) {
+      chk.min_center_sep =
+          std::min(chk.min_center_sep, Dist(centers[i], centers[j]));
+    }
+  }
+
+  // Clusters per unit ball, balls centered at members.
+  for (const std::size_t u : members) {
+    std::unordered_set<ClusterId> seen;
+    for (const std::size_t v : members) {
+      if (cluster_of[v] == kNoCluster) continue;
+      if (Dist(net.position(u), net.position(v)) <= 1.0 + 1e-12) {
+        seen.insert(cluster_of[v]);
+      }
+    }
+    chk.max_clusters_per_unit_ball =
+        std::max(chk.max_clusters_per_unit_ball, static_cast<int>(seen.size()));
+  }
+  return chk;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> FindClosePairs(
+    const sinr::Network& net, const std::vector<std::size_t>& members,
+    const std::vector<ClusterId>& cluster_of, int gamma, double r) {
+  const double d_bound = CloseDistanceBound(gamma, r);
+  const double comm = 1.0 - net.params().eps;
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+
+  std::unordered_map<ClusterId, std::vector<std::size_t>> by_cluster;
+  for (const std::size_t idx : members) by_cluster[cluster_of[idx]].push_back(idx);
+
+  for (const auto& [phi, idxs] : by_cluster) {
+    for (std::size_t a = 0; a < idxs.size(); ++a) {
+      for (std::size_t b = a + 1; b < idxs.size(); ++b) {
+        const std::size_t u = idxs[a], w = idxs[b];
+        const double d = net.Distance(u, w);
+        // (b) d = zeta * d_bound <= 1 - eps for zeta in (0, 1].
+        if (d > d_bound + 1e-12 || d > comm + 1e-12) continue;
+        const double zeta = d / d_bound;
+        // (c) u and w are mutually nearest within the cluster.
+        bool nearest = true;
+        for (const std::size_t x : idxs) {
+          if (x == u || x == w) continue;
+          if (net.Distance(u, x) < d - 1e-12 ||
+              net.Distance(w, x) < d - 1e-12) {
+            nearest = false;
+            break;
+          }
+        }
+        if (!nearest) continue;
+        // (d) pairwise distances inside B(u, zeta) ∪ B(w, zeta) are >= d/2.
+        std::vector<std::size_t> nearby;
+        for (const std::size_t x : idxs) {
+          if (net.Distance(u, x) <= zeta + 1e-12 ||
+              net.Distance(w, x) <= zeta + 1e-12) {
+            nearby.push_back(x);
+          }
+        }
+        bool spaced = true;
+        for (std::size_t i = 0; i < nearby.size() && spaced; ++i) {
+          for (std::size_t j = i + 1; j < nearby.size(); ++j) {
+            if (net.Distance(nearby[i], nearby[j]) < d / 2.0 - 1e-12) {
+              spaced = false;
+              break;
+            }
+          }
+        }
+        if (spaced) out.emplace_back(u, w);
+      }
+    }
+  }
+  return out;
+}
+
+int SubsetDensity(const sinr::Network& net,
+                  const std::vector<std::size_t>& members) {
+  std::vector<Vec2> pts;
+  pts.reserve(members.size());
+  for (const std::size_t idx : members) pts.push_back(net.position(idx));
+  return UnitBallDensity(pts, 1.0);
+}
+
+int MaxClusterSize(const sinr::Network& net,
+                   const std::vector<std::size_t>& members,
+                   const std::vector<ClusterId>& cluster_of) {
+  (void)net;
+  std::unordered_map<ClusterId, int> count;
+  int best = 0;
+  for (const std::size_t idx : members) {
+    if (cluster_of[idx] == kNoCluster) continue;
+    best = std::max(best, ++count[cluster_of[idx]]);
+  }
+  return best;
+}
+
+LabelingCheck CheckLabeling(const sinr::Network& net,
+                            const std::vector<std::size_t>& members,
+                            const std::vector<ClusterId>& cluster_of,
+                            const std::unordered_map<NodeId, int>& labels) {
+  LabelingCheck chk;
+  std::unordered_map<std::int64_t, int> mult;  // (cluster, label) -> count
+  for (const std::size_t idx : members) {
+    const auto it = labels.find(net.id(idx));
+    if (it == labels.end()) {
+      chk.all_labeled = false;
+      continue;
+    }
+    chk.max_label = std::max(chk.max_label, it->second);
+    const std::int64_t key =
+        cluster_of[idx] * 1000003ll + static_cast<std::int64_t>(it->second);
+    chk.max_multiplicity = std::max(chk.max_multiplicity, ++mult[key]);
+  }
+  return chk;
+}
+
+}  // namespace dcc::cluster

@@ -1,0 +1,119 @@
+// 2-D Euclidean geometry and the packing quantities used throughout the
+// paper (Section 2, "Preliminaries"):
+//
+//  * chi(r1, r2): the maximal number of points that fit in a ball of radius
+//    r1 with pairwise distances >= r2. We use the standard disc-packing
+//    upper bound chi(r1, r2) <= (1 + 2*r1/r2)^2; algorithms only ever need
+//    an upper bound (loop lengths) or its inverse (d_{Gamma,r}).
+//  * d_{Gamma,r}: the smallest d with chi(r, d) >= Gamma/2. Inverting the
+//    bound above gives d_{Gamma,r} = 2r / (sqrt(Gamma/2) - 1). This is the
+//    upper bound on the closest-pair distance inside any dense cluster.
+//
+// The paper's results extend to bounded-growth metrics; we implement the
+// Euclidean plane, which is what every construction in the paper uses.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dcc/common/types.h"
+
+namespace dcc {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(double s, Vec2 a) { return {s * a.x, s * a.y}; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline double Dist2(Vec2 a, Vec2 b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+inline double Dist(Vec2 a, Vec2 b) { return std::sqrt(Dist2(a, b)); }
+
+// Closed ball B(center, radius).
+struct Ball {
+  Vec2 center;
+  double radius = 0.0;
+  bool Contains(Vec2 p) const { return Dist(center, p) <= radius + 1e-12; }
+};
+
+// Upper bound on chi(r1, r2): max points in a ball of radius r1 with
+// pairwise distance >= r2 (disc packing: open discs of radius r2/2 centered
+// at the points are disjoint and fit in a ball of radius r1 + r2/2).
+int ChiUpperBound(double r1, double r2);
+
+// The smallest d such that chi(r, d) >= Gamma/2 (paper: d_{Gamma,r}), using
+// the packing upper bound. For Gamma <= 2 there is no constraint; we return
+// 2r (cluster diameter) in that case.
+double CloseDistanceBound(int gamma, double r);
+
+// Axis-aligned bounding box of a point set (empty set -> zero box).
+struct Box {
+  Vec2 lo, hi;
+};
+Box BoundingBox(std::span<const Vec2> pts);
+
+// Uniform grid over a point set for O(1)-neighborhood queries. Cell size is
+// chosen by the caller (typically 1.0: the transmission range).
+class PointGrid {
+ public:
+  PointGrid(std::span<const Vec2> pts, double cell);
+
+  // Indices of points within distance `radius` of `p` (inclusive).
+  std::vector<std::size_t> Near(Vec2 p, double radius) const;
+
+  // The number of points within `radius` of `p`.
+  int CountNear(Vec2 p, double radius) const;
+
+  // Calls `fn(index)` for every point within `radius` of `p`.
+  template <typename Fn>
+  void ForNear(Vec2 p, double radius, Fn&& fn) const {
+    const int span = static_cast<int>(std::ceil(radius / cell_)) + 1;
+    const auto [cx, cy] = CellOf(p);
+    const double r2 = radius * radius;
+    for (int gx = cx - span; gx <= cx + span; ++gx) {
+      for (int gy = cy - span; gy <= cy + span; ++gy) {
+        const auto it = cells_.find(Key(gx, gy));
+        if (it == cells_.end()) continue;
+        for (std::size_t j : it->second) {
+          if (Dist2(pts_[j], p) <= r2 + 1e-12) fn(j);
+        }
+      }
+    }
+  }
+
+ private:
+  std::pair<int, int> CellOf(Vec2 p) const {
+    return {static_cast<int>(std::floor(p.x / cell_)),
+            static_cast<int>(std::floor(p.y / cell_))};
+  }
+  static std::int64_t Key(int gx, int gy) {
+    return (static_cast<std::int64_t>(gx) << 32) ^
+           (static_cast<std::int64_t>(gy) & 0xffffffffll);
+  }
+
+  std::vector<Vec2> pts_;
+  double cell_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> cells_;
+};
+
+// Density of a point set: the maximum number of points inside any unit ball
+// (paper, Section 2: density Gamma of an unclustered set). We evaluate balls
+// centered at the nodes themselves; the node-centered maximum is within a
+// constant factor of the every-point maximum (any ball with k points
+// contains a node whose own unit ball has >= k points when radius doubles),
+// and Fact 1 only needs density up to constants.
+int UnitBallDensity(std::span<const Vec2> pts, double radius = 1.0);
+
+}  // namespace dcc

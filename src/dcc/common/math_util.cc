@@ -1,0 +1,59 @@
+#include "dcc/common/math_util.h"
+
+#include <cmath>
+
+namespace dcc {
+
+int CeilLog2(std::uint64_t x) {
+  DCC_REQUIRE(x >= 1, "CeilLog2: x >= 1");
+  int lg = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++lg;
+  }
+  return lg;
+}
+
+int LogStar(double n) {
+  int it = 0;
+  double v = n;
+  while (v > 1.0 + 1e-12) {
+    v = std::log2(v);
+    ++it;
+    DCC_CHECK(it < 64);  // log* of any representable double is tiny
+  }
+  return it;
+}
+
+int CeilLog43(double x) {
+  DCC_REQUIRE(x >= 1, "CeilLog43: x >= 1");
+  if (x <= 1.0) return 0;
+  return static_cast<int>(std::ceil(std::log(x) / std::log(4.0 / 3.0)));
+}
+
+bool IsPrime(std::int64_t x) {
+  if (x < 2) return false;
+  if (x < 4) return true;
+  if (x % 2 == 0) return false;
+  for (std::int64_t d = 3; d * d <= x; d += 2) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::int64_t> PrimesInRange(std::int64_t lo, std::int64_t hi) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t x = std::max<std::int64_t>(lo, 2); x <= hi; ++x) {
+    if (IsPrime(x)) out.push_back(x);
+  }
+  return out;
+}
+
+std::int64_t NextPrime(std::int64_t x) {
+  std::int64_t v = std::max<std::int64_t>(x, 2);
+  while (!IsPrime(v)) ++v;
+  return v;
+}
+
+}  // namespace dcc

@@ -1,0 +1,31 @@
+// Small numeric helpers: iterated logarithm, integer logs, prime sieve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/common/types.h"
+
+namespace dcc {
+
+// ceil(log2(x)) for x >= 1; 0 for x == 1.
+int CeilLog2(std::uint64_t x);
+
+// The iterated logarithm log*(n): number of times log2 must be applied
+// before the value drops to <= 1. log*(1)=0, log*(2)=1, log*(4)=2,
+// log*(16)=3, log*(65536)=4, ...
+int LogStar(double n);
+
+// ceil(log_{4/3}(x)) for x >= 1 — the iteration count k of FullSparsification
+// (Alg. 4) and Clustering (Alg. 6).
+int CeilLog43(double x);
+
+// All primes in [lo, hi] (inclusive), simple sieve; hi <= ~10^7 expected.
+std::vector<std::int64_t> PrimesInRange(std::int64_t lo, std::int64_t hi);
+
+// The first prime >= x.
+std::int64_t NextPrime(std::int64_t x);
+
+bool IsPrime(std::int64_t x);
+
+}  // namespace dcc

@@ -1,0 +1,72 @@
+#include "dcc/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "dcc/common/types.h"
+
+namespace dcc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DCC_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  DCC_REQUIRE(cells.size() == headers_.size(),
+              "Table::AddRow: cell count must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string Table::Num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+void Table::Print(std::ostream& os, int indent) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << pad;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c], '-') << "  ";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dcc

@@ -1,0 +1,36 @@
+// Aligned-column table printing for benchmark output (paper tables and
+// figure series are printed as rows), plus CSV export.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic values with %g-style formatting.
+  static std::string Num(double v);
+  static std::string Num(std::int64_t v);
+
+  // Renders with padded columns, a header underline, and `indent` leading
+  // spaces per line.
+  void Print(std::ostream& os, int indent = 0) const;
+
+  // Comma-separated form (no padding); suitable for piping into plotters.
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcc

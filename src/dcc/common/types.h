@@ -1,0 +1,63 @@
+// Basic aliases and invariant-checking macros used across the library.
+//
+// Conventions (paper, Section 1.1 / 2):
+//  * Node IDs are unique values from [N] = {1, ..., N}; we store them as
+//    `NodeId` (0 is reserved for "no node").
+//  * Cluster IDs are also drawn from [N] (a cluster is named after a node).
+//  * "Index" types (positions in the simulator's node array) are plain
+//    `std::size_t` and are *not* visible to protocol code, which may only use
+//    IDs — the knowledge model of the paper.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace dcc {
+
+using NodeId = std::int64_t;     // unique identifier in [1, N]
+using ClusterId = std::int64_t;  // cluster name in [1, N]; kNoCluster if none
+using Round = std::int64_t;      // global round counter
+
+inline constexpr NodeId kNoNode = 0;
+inline constexpr ClusterId kNoCluster = 0;
+
+// Thrown on violated preconditions in public API entry points.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+// Internal invariant failure: fail fast with location info. These guard
+// algorithm invariants proven in the paper; a firing check means the
+// implementation (or a calibrated constant) is wrong, not the input.
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "DCC_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+#define DCC_CHECK(expr)                                 \
+  do {                                                  \
+    if (!(expr)) ::dcc::CheckFailed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define DCC_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::fprintf(stderr, "DCC_CHECK failed: %s (%s) at %s:%d\n", #expr, \
+                   msg, __FILE__, __LINE__);                              \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+// Precondition on user-supplied arguments: throws instead of aborting.
+#define DCC_REQUIRE(expr, msg)                                      \
+  do {                                                              \
+    if (!(expr)) throw ::dcc::InvalidArgument(std::string("precondition: ") + msg); \
+  } while (0)
+
+}  // namespace dcc

@@ -1,0 +1,84 @@
+#include "dcc/lowerbound/adversary.h"
+
+#include <algorithm>
+
+#include "dcc/common/rng.h"
+
+namespace dcc::lowerbound {
+
+AdversarialAssignment AssignAdversarialIds(const ObliviousTrace& trace,
+                                           std::vector<NodeId> pool,
+                                           int delta, Round horizon) {
+  DCC_REQUIRE(static_cast<int>(pool.size()) >= delta + 2,
+              "AssignAdversarialIds: pool must hold >= delta+2 ids");
+  std::sort(pool.begin(), pool.end());
+  pool.resize(static_cast<std::size_t>(delta) + 2);
+  const std::size_t M = pool.size();
+
+  // Transmission matrix of the candidates under silent feedback. The
+  // gadget geometry (Fact 2) makes t's reception equivalent to
+  // "v_{Delta+1} transmits and no other core node does", so the adversary
+  // must pick for v_{Delta+1} the id whose first *solo* transmission round
+  // (no other pool id transmitting) is latest — the operational form of
+  // the Lemma 13 pairing invariant ">= 2 transmitters in every used
+  // round". For oblivious (schedule-driven) algorithms the silent-feedback
+  // premise holds exactly: jammed rounds deliver nothing, and solo rounds
+  // don't happen before the bound by construction.
+  std::vector<std::vector<char>> tx(M, std::vector<char>(
+                                          static_cast<std::size_t>(horizon), 0));
+  std::vector<int> tx_count(static_cast<std::size_t>(horizon), 0);
+  for (std::size_t i = 0; i < M; ++i) {
+    for (Round r = 0; r < horizon; ++r) {
+      if (trace(pool[i], r)) {
+        tx[i][static_cast<std::size_t>(r)] = 1;
+        ++tx_count[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+
+  // First solo round of each candidate.
+  std::vector<Round> first_solo(M, horizon);
+  for (std::size_t i = 0; i < M; ++i) {
+    for (Round r = 0; r < horizon; ++r) {
+      if (tx[i][static_cast<std::size_t>(r)] &&
+          tx_count[static_cast<std::size_t>(r)] == 1) {
+        first_solo[i] = r;
+        break;
+      }
+    }
+  }
+
+  // v_{Delta+1} gets the latest-solo id; remaining ids fill v_0..v_Delta in
+  // pool order (their placement is irrelevant to t's deafness).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < M; ++i) {
+    if (first_solo[i] > first_solo[best]) best = i;
+  }
+  AdversarialAssignment out;
+  out.core_ids.reserve(M);
+  for (std::size_t i = 0; i < M; ++i) {
+    if (i != best) out.core_ids.push_back(pool[i]);
+  }
+  out.core_ids.push_back(pool[best]);  // v_{Delta+1}
+  out.blocked_until = first_solo[best];
+  out.pair_rounds.assign(1, first_solo[best]);
+  return out;
+}
+
+ObliviousTrace SelectorTrace(std::int64_t id_space, int k,
+                             std::uint64_t seed) {
+  (void)id_space;
+  StatelessHash h(seed);
+  return [h, k](NodeId id, Round r) {
+    return h.Coin(static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(r),
+                  static_cast<std::uint64_t>(id));
+  };
+}
+
+ObliviousTrace RoundRobinTrace(std::int64_t id_space) {
+  return [id_space](NodeId id, Round r) {
+    return (r % id_space) == (id % id_space);
+  };
+}
+
+}  // namespace dcc::lowerbound

@@ -1,0 +1,60 @@
+// The Lemma 13 adversary: an ID assignment for the gadget core that keeps
+// the target t deaf for Omega(Delta) rounds against any deterministic
+// algorithm whose behavior, absent differentiating feedback, is a function
+// of (id, round).
+//
+// The adversary inspects the algorithm through an *oblivious trace*: would
+// a node with this id — woken by s at round 0, hearing nothing since —
+// transmit at round r? (Fact 2 guarantees the "hearing nothing" premise
+// stays true under the produced assignment: every round either no core
+// node transmits or at least two do, which jams the whole suffix.)
+//
+// Assignment: by the gadget geometry, t receives exactly when v_{Delta+1}
+// transmits with no other core transmitter, so the proof's pairing
+// invariant ("every used round has >= 2 transmitters") reduces to keeping
+// v_{Delta+1} covered. The adversary computes every candidate's first
+// *solo* transmission round within the pool and pins the latest-solo id to
+// v_{Delta+1} — t then stays deaf until that round, which the simulation
+// cross-checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dcc/common/types.h"
+
+namespace dcc::lowerbound {
+
+// Would a node with `id`, woken at local round 0 and hearing nothing since,
+// transmit at local round `r`?
+using ObliviousTrace = std::function<bool(NodeId id, Round r)>;
+
+struct AdversarialAssignment {
+  // ids for v_0 .. v_{delta+1}, in core order.
+  std::vector<NodeId> core_ids;
+  // Rounds at which successive pairs were scheduled to first transmit; the
+  // delivery to t cannot happen before blocked_until (adversary's lower
+  // bound certificate, cross-checked by simulation).
+  std::vector<Round> pair_rounds;
+  Round blocked_until = 0;
+};
+
+// `pool` must contain at least delta+2 candidate ids. `horizon` caps the
+// trace scan (ids that never transmit within the horizon are paired last —
+// they silently delay delivery even longer).
+AdversarialAssignment AssignAdversarialIds(const ObliviousTrace& trace,
+                                           std::vector<NodeId> pool,
+                                           int delta, Round horizon);
+
+// Convenience traces to attack.
+//
+// Selector-style deterministic broadcast: transmit at rounds where a seeded
+// (N,k)-selector includes the id — representative of the selector-based
+// deterministic algorithms (including this paper's).
+ObliviousTrace SelectorTrace(std::int64_t id_space, int k, std::uint64_t seed);
+
+// Round-robin over the id space: node transmits at rounds r ≡ id (mod N).
+ObliviousTrace RoundRobinTrace(std::int64_t id_space);
+
+}  // namespace dcc::lowerbound

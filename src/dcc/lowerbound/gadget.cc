@@ -1,0 +1,105 @@
+#include "dcc/lowerbound/gadget.h"
+
+#include <cmath>
+
+namespace dcc::lowerbound {
+
+sinr::Params GadgetParams(double alpha, double eps, double q) {
+  DCC_REQUIRE(q > 1.0, "GadgetParams: gap ratio q must exceed 1");
+  sinr::Params p;
+  p.alpha = alpha;
+  p.eps = eps;
+  p.noise = 1.0;
+  // Fact 2 blocking: for transmitters v_i, v_j (i < j) and a listener
+  // beyond v_j, the worst interferer is v_0: its distance to the listener
+  // is at most (1 + sum of gaps / signal distance) <= q/(q-1) times the
+  // signal distance (geometric gaps with ratio q). SINR is then at most
+  // (q/(q-1))^alpha; beta 15% above that blocks every such reception.
+  const double block = std::pow(q / (q - 1.0), alpha);
+  p.beta = 1.15 * block;
+  p.power = p.noise * p.beta;  // transmission range 1
+  p.Validate();
+  return p;
+}
+
+Gadget MakeGadget(int delta, const sinr::Params& params, double q) {
+  DCC_REQUIRE(delta >= 1, "MakeGadget: delta >= 1");
+  DCC_REQUIRE(q > 1.0, "MakeGadget: q > 1");
+  const double eps = params.eps;
+  DCC_REQUIRE(eps < 0.24, "MakeGadget: needs eps < 0.24 (core within range)");
+
+  Gadget g;
+  g.delta = delta;
+  // s at origin; v_0 at eps — the whole core sits within 4*eps of s, so
+  // the wake-up of the core tolerates Theta(eps^{-alpha}) external
+  // interference (the nu budget of Lemma 13; see header).
+  g.positions.push_back({0.0, 0.0});
+  g.s = 0;
+  double x = eps;
+  g.positions.push_back({x, 0.0});
+  g.core.push_back(1);
+
+  // Core gaps: d(v_i, v_{i+1}) = eps * q^{-(delta-i)} for i < delta, then
+  // d(v_delta, v_{delta+1}) = 2*eps (Fig. 6 shape, ratio q generalized).
+  for (int i = 0; i < delta; ++i) {
+    const double gap = eps * std::pow(q, -static_cast<double>(delta - i));
+    DCC_REQUIRE(gap > 1e-13, "MakeGadget: delta too large for double precision");
+    x += gap;
+    g.positions.push_back({x, 0.0});
+    g.core.push_back(g.positions.size() - 1);
+  }
+  x += 2.0 * eps;
+  g.positions.push_back({x, 0.0});
+  g.core.push_back(g.positions.size() - 1);  // v_{delta+1}
+
+  // t: within range of v_{delta+1} only (d slightly under 1 - eps so the
+  // comm edge survives floating-point), beyond everyone else (v_delta sits
+  // 2*eps further: > 1).
+  x += (1.0 - eps) * 0.999;
+  g.positions.push_back({x, 0.0});
+  g.t = g.positions.size() - 1;
+  return g;
+}
+
+GadgetChain MakeGadgetChain(int num_gadgets, int delta,
+                            const sinr::Params& params, double q) {
+  DCC_REQUIRE(num_gadgets >= 1, "MakeGadgetChain: need >= 1 gadget");
+  GadgetChain chain;
+  chain.delta = delta;
+  chain.num_gadgets = num_gadgets;
+  const double eps = params.eps;
+  const int kappa = std::max(
+      1, static_cast<int>(std::ceil(std::pow(static_cast<double>(delta),
+                                             1.0 / params.alpha) /
+                                    (1.0 - eps))));
+
+  double x = 0.0;
+  for (int gi = 0; gi < num_gadgets; ++gi) {
+    Gadget g = MakeGadget(delta, params, q);
+    const std::size_t base = chain.positions.size();
+    for (const Vec2& p : g.positions) chain.positions.push_back({x + p.x, p.y});
+    // re-index
+    g.s += base;
+    g.t += base;
+    for (auto& c : g.core) c += base;
+    const double gadget_span = g.positions.back().x;
+    x += gadget_span;
+    if (gi == 0) chain.s = g.s;
+    chain.t = g.t;
+    chain.gadgets.push_back(g);
+
+    if (gi + 1 < num_gadgets) {
+      // Buffer path: kappa nodes spaced 1-eps apart after t; the next
+      // gadget's s is placed 1-eps after the last buffer node.
+      for (int b = 0; b < kappa; ++b) {
+        x += 1.0 - eps;
+        chain.positions.push_back({x, 0.0});
+        chain.buffer_nodes.push_back(chain.positions.size() - 1);
+      }
+      x += 1.0 - eps;  // next gadget's s lands here (its local origin)
+    }
+  }
+  return chain;
+}
+
+}  // namespace dcc::lowerbound

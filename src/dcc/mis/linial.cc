@@ -1,0 +1,226 @@
+#include "dcc/mis/linial.h"
+
+#include <algorithm>
+
+#include "dcc/common/math_util.h"
+
+namespace dcc::mis {
+
+int LocalGraph::MaxDegree() const {
+  std::size_t deg = 0;
+  for (const auto& a : adj) deg = std::max(deg, a.size());
+  return static_cast<int>(deg);
+}
+
+bool LocalGraph::IsIndependent(const std::vector<bool>& in_set) const {
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    if (!in_set[v]) continue;
+    for (const std::size_t u : adj[v]) {
+      if (in_set[u]) return false;
+    }
+  }
+  return true;
+}
+
+bool LocalGraph::IsDominating(const std::vector<bool>& in_set) const {
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    if (in_set[v]) continue;
+    bool dominated = false;
+    for (const std::size_t u : adj[v]) {
+      if (in_set[u]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Smallest prime q and degree bound t such that q^{t+1} >= m (colors are
+// encodable as degree-<=t polynomials over GF(q)) and q > delta * t (so a
+// free evaluation point always exists).
+LinialRound PickRound(std::int64_t m, int delta) {
+  DCC_CHECK(m >= 2);
+  for (std::int64_t q = NextPrime(std::max<std::int64_t>(delta + 1, 2));;
+       q = NextPrime(q + 1)) {
+    // smallest t with q^{t+1} >= m
+    int t = 0;
+    std::int64_t pow = q;  // q^{t+1}
+    while (pow < m) {
+      // overflow-safe multiply: values stay tiny in practice
+      DCC_CHECK(pow < (std::int64_t{1} << 56) / q);
+      pow *= q;
+      ++t;
+    }
+    if (q > static_cast<std::int64_t>(delta) * t) {
+      return LinialRound{q, t, m};
+    }
+    DCC_CHECK(q < (std::int64_t{1} << 40));  // always terminates
+  }
+}
+
+}  // namespace
+
+std::vector<LinialRound> LinialPlan(std::int64_t m0, int delta) {
+  DCC_REQUIRE(m0 >= 2, "LinialPlan: need m0 >= 2");
+  DCC_REQUIRE(delta >= 0, "LinialPlan: need delta >= 0");
+  std::vector<LinialRound> plan;
+  std::int64_t m = m0;
+  for (;;) {
+    const LinialRound r = PickRound(m, delta);
+    if (r.q * r.q >= m) break;  // no further progress
+    plan.push_back(r);
+    m = r.q * r.q;
+  }
+  return plan;
+}
+
+std::int64_t LinialStep(std::int64_t c, std::span<const std::int64_t> neighbors,
+                        const LinialRound& round) {
+  const std::int64_t q = round.q;
+  const int t = round.t;
+  DCC_REQUIRE(c >= 0 && c < round.m, "LinialStep: color out of range");
+
+  // Digits of a color in base q: color <-> polynomial coefficients.
+  const auto digits = [&](std::int64_t col) {
+    std::vector<std::int64_t> d(static_cast<std::size_t>(t) + 1);
+    for (int j = 0; j <= t; ++j) {
+      d[static_cast<std::size_t>(j)] = col % q;
+      col /= q;
+    }
+    return d;
+  };
+  const auto eval = [&](const std::vector<std::int64_t>& d, std::int64_t a) {
+    std::int64_t acc = 0;
+    for (int j = t; j >= 0; --j) {
+      acc = (acc * a + d[static_cast<std::size_t>(j)]) % q;
+    }
+    return acc;
+  };
+
+  const auto dc = digits(c);
+  // For every evaluation point a, check that no neighbor polynomial agrees.
+  for (std::int64_t a = 0; a < q; ++a) {
+    const std::int64_t fa = eval(dc, a);
+    bool clash = false;
+    for (const std::int64_t nc : neighbors) {
+      DCC_CHECK(nc != c);  // proper coloring invariant
+      if (eval(digits(nc), a) == fa) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) return a * q + fa;
+  }
+  // Unreachable when |neighbors| <= delta: each neighbor polynomial agrees
+  // with f_c on <= t points and delta * t < q.
+  DCC_CHECK_MSG(false, "LinialStep: no free evaluation point (degree bound violated?)");
+  std::abort();
+}
+
+ColoringRun LinialColorReduction(const LocalGraph& g,
+                                 std::vector<std::int64_t> colors,
+                                 std::int64_t m0, int delta) {
+  DCC_REQUIRE(colors.size() == g.size(), "colors size mismatch");
+  const auto plan = LinialPlan(m0, delta);
+  ColoringRun run;
+  std::int64_t m = m0;
+  for (const LinialRound& round : plan) {
+    std::vector<std::int64_t> next(colors.size());
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      std::vector<std::int64_t> ncs;
+      ncs.reserve(g.adj[v].size());
+      for (const std::size_t u : g.adj[v]) ncs.push_back(colors[u]);
+      next[v] = LinialStep(colors[v], ncs, round);
+    }
+    colors = std::move(next);
+    m = round.q * round.q;
+    ++run.local_rounds;
+    // Invariant: coloring stays proper.
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      for (const std::size_t u : g.adj[v]) DCC_CHECK(colors[v] != colors[u]);
+    }
+  }
+  run.colors = std::move(colors);
+  run.num_colors = m;
+  return run;
+}
+
+ColoringRun ReduceColors(const LocalGraph& g, std::vector<std::int64_t> colors,
+                         std::int64_t num_colors, std::int64_t target) {
+  DCC_REQUIRE(colors.size() == g.size(), "ReduceColors: colors size mismatch");
+  DCC_REQUIRE(target >= g.MaxDegree() + 1,
+              "ReduceColors: target must be >= MaxDegree()+1");
+  ColoringRun run;
+  for (std::int64_t cls = num_colors - 1; cls >= target; --cls) {
+    // All nodes of class `cls` recolor simultaneously; they are pairwise
+    // non-adjacent (proper coloring), so greedy choices cannot clash.
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      if (colors[v] != cls) continue;
+      std::vector<bool> used(static_cast<std::size_t>(target), false);
+      for (const std::size_t u : g.adj[v]) {
+        if (colors[u] < target) used[static_cast<std::size_t>(colors[u])] = true;
+      }
+      for (std::int64_t c = 0; c < target; ++c) {
+        if (!used[static_cast<std::size_t>(c)]) {
+          colors[v] = c;
+          break;
+        }
+      }
+      DCC_CHECK(colors[v] < target);  // degree bound guarantees a free color
+    }
+    ++run.local_rounds;
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      for (const std::size_t u : g.adj[v]) DCC_CHECK(colors[v] != colors[u]);
+    }
+  }
+  run.colors = std::move(colors);
+  run.num_colors = std::min(num_colors, target);
+  return run;
+}
+
+MisRun MisFromColoring(const LocalGraph& g,
+                       const std::vector<std::int64_t>& colors,
+                       std::int64_t num_colors) {
+  DCC_REQUIRE(colors.size() == g.size(), "colors size mismatch");
+  MisRun run;
+  run.in_mis.assign(g.size(), false);
+  std::vector<bool> decided(g.size(), false);
+  for (std::int64_t cls = 0; cls < num_colors; ++cls) {
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      if (decided[v] || colors[v] != cls) continue;
+      bool neighbor_in = false;
+      for (const std::size_t u : g.adj[v]) {
+        if (run.in_mis[u]) {
+          neighbor_in = true;
+          break;
+        }
+      }
+      if (!neighbor_in) run.in_mis[v] = true;
+      decided[v] = true;
+    }
+    // Domination propagates implicitly: a later-class node checks in_mis.
+    ++run.local_rounds;
+  }
+  return run;
+}
+
+MisRun LinialMis(const LocalGraph& g, const std::vector<std::int64_t>& ids,
+                 std::int64_t id_space) {
+  // IDs are 1-based in [1, id_space]; colors are 0-based.
+  std::vector<std::int64_t> colors(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    DCC_REQUIRE(ids[i] >= 1 && ids[i] <= id_space, "LinialMis: id out of range");
+    colors[i] = ids[i] - 1;
+  }
+  const auto reduced =
+      LinialColorReduction(g, std::move(colors), id_space, g.MaxDegree());
+  MisRun mis = MisFromColoring(g, reduced.colors, reduced.num_colors);
+  mis.local_rounds += reduced.local_rounds;
+  return mis;
+}
+
+}  // namespace dcc::mis

@@ -1,0 +1,85 @@
+// Deterministic LOCAL-model coloring and MIS for bounded-degree graphs —
+// our stand-in for the Schneider–Wattenhofer MIS [34] the paper invokes
+// (DESIGN.md §4.2). On constant-degree graphs the pipeline
+//   Linial color reduction (log* rounds)  →  MIS from coloring
+// runs in O(log* N) + O(1) LOCAL rounds, matching [34] asymptotically.
+//
+// Everything here is expressed as *pure per-round step functions* so that
+// SINR protocols can embed them (one LOCAL round = one replay of an
+// exchange schedule), plus whole-graph runners for tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dcc/common/types.h"
+
+namespace dcc::mis {
+
+// An undirected graph in the LOCAL model: adjacency over indices 0..n-1.
+struct LocalGraph {
+  std::vector<std::vector<std::size_t>> adj;
+
+  std::size_t size() const { return adj.size(); }
+  int MaxDegree() const;
+  bool IsIndependent(const std::vector<bool>& in_set) const;
+  // Every node is in the set or has a neighbor in it.
+  bool IsDominating(const std::vector<bool>& in_set) const;
+};
+
+// --- Linial color reduction -------------------------------------------
+
+// Parameters of one reduction round: colors in [0, m) are viewed as
+// polynomials of degree <= t over GF(q); the new color space is [0, q^2).
+struct LinialRound {
+  std::int64_t q = 0;  // prime
+  int t = 0;           // polynomial degree bound, q > delta * t
+  std::int64_t m = 0;  // incoming color space
+};
+
+// The sequence of reduction rounds from color space m0 with degree bound
+// delta, iterated until q^2 stops shrinking the space. O(log* m0) entries.
+std::vector<LinialRound> LinialPlan(std::int64_t m0, int delta);
+
+// One node's reduction step: its color c in [0, m), neighbor colors (all in
+// [0, m), all != c), and the round parameters. Returns the new color in
+// [0, q^2).
+std::int64_t LinialStep(std::int64_t c, std::span<const std::int64_t> neighbors,
+                        const LinialRound& round);
+
+// Whole-graph runner: reduces initial colors (proper, in [0, m0)) to the
+// final space. Asserts the coloring stays proper after every round.
+struct ColoringRun {
+  std::vector<std::int64_t> colors;
+  std::int64_t num_colors = 0;  // final color space bound
+  int local_rounds = 0;
+};
+ColoringRun LinialColorReduction(const LocalGraph& g,
+                                 std::vector<std::int64_t> colors,
+                                 std::int64_t m0, int delta);
+
+// Reduces a proper coloring from `num_colors` to `target` colors (target
+// must be >= MaxDegree()+1): classes target..num_colors-1 recolor greedily
+// one LOCAL round per class — the standard O(Delta^2) -> Delta+1 tail of
+// the Linial pipeline (Barenboim-Elkin Ch. 3).
+ColoringRun ReduceColors(const LocalGraph& g, std::vector<std::int64_t> colors,
+                         std::int64_t num_colors, std::int64_t target);
+
+// --- MIS from a proper coloring ----------------------------------------
+// Processes color classes 0..K-1 in order: an undecided node whose color
+// equals the current class joins the MIS unless a neighbor already joined;
+// neighbors of MIS nodes become dominated. K LOCAL rounds.
+struct MisRun {
+  std::vector<bool> in_mis;
+  int local_rounds = 0;
+};
+MisRun MisFromColoring(const LocalGraph& g,
+                       const std::vector<std::int64_t>& colors,
+                       std::int64_t num_colors);
+
+// Full pipeline: Linial reduction from the ID space, then MIS by colors.
+MisRun LinialMis(const LocalGraph& g, const std::vector<std::int64_t>& ids,
+                 std::int64_t id_space);
+
+}  // namespace dcc::mis

@@ -1,0 +1,50 @@
+#include "dcc/mis/local_mis.h"
+
+namespace dcc::mis {
+
+MisState LocalMinimaStep(
+    NodeId id, MisState state,
+    std::span<const std::pair<NodeId, MisState>> neighbors) {
+  if (state != MisState::kUndecided) return state;
+  bool neighbor_in_mis = false;
+  bool is_min = true;
+  for (const auto& [nid, nstate] : neighbors) {
+    if (nstate == MisState::kInMis) neighbor_in_mis = true;
+    if (nstate == MisState::kUndecided && nid < id) is_min = false;
+  }
+  if (neighbor_in_mis) return MisState::kDominated;
+  if (is_min) return MisState::kInMis;
+  return MisState::kUndecided;
+}
+
+PartialMisRun LocalMinimaMis(const LocalGraph& g,
+                             const std::vector<std::int64_t>& ids,
+                             int max_rounds) {
+  DCC_REQUIRE(ids.size() == g.size(), "LocalMinimaMis: ids size mismatch");
+  PartialMisRun run;
+  run.state.assign(g.size(), MisState::kUndecided);
+  for (int r = 0; r < max_rounds; ++r) {
+    std::vector<MisState> next(run.state);
+    bool changed = false;
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      std::vector<std::pair<NodeId, MisState>> ns;
+      ns.reserve(g.adj[v].size());
+      for (const std::size_t u : g.adj[v]) ns.emplace_back(ids[u], run.state[u]);
+      next[v] = LocalMinimaStep(ids[v], run.state[v], ns);
+      changed = changed || next[v] != run.state[v];
+    }
+    run.state = std::move(next);
+    ++run.local_rounds;
+    if (!changed) break;
+  }
+  run.all_decided = true;
+  for (const MisState s : run.state) {
+    if (s == MisState::kUndecided) {
+      run.all_decided = false;
+      break;
+    }
+  }
+  return run;
+}
+
+}  // namespace dcc::mis

@@ -1,0 +1,55 @@
+#include "dcc/sel/ssf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcc/common/math_util.h"
+
+namespace dcc::sel {
+
+Ssf Ssf::Construct(std::int64_t N, int k) {
+  DCC_REQUIRE(N >= 1, "Ssf: N >= 1");
+  DCC_REQUIRE(k >= 1, "Ssf: k >= 1");
+  Ssf s;
+  s.n_ = N;
+  s.k_ = k;
+
+  // Find the smallest threshold T such that the number of primes in (T, 2T]
+  // strictly exceeds (k-1) * ceil(log_T N): then for every k-set X and
+  // x in X a "good" prime survives.
+  std::int64_t T = 2;
+  std::vector<std::int64_t> primes;
+  for (;; T = std::max<std::int64_t>(T + 1, static_cast<std::int64_t>(
+                                               static_cast<double>(T) * 1.3))) {
+    primes = PrimesInRange(T + 1, 2 * T);
+    const double logT = std::log(std::max<double>(static_cast<double>(T), 2.0));
+    const double needed =
+        static_cast<double>(k - 1) *
+        std::ceil(std::log(static_cast<double>(std::max<std::int64_t>(N, 2))) /
+                  logT);
+    if (static_cast<double>(primes.size()) > needed) break;
+    DCC_CHECK(T < (std::int64_t{1} << 40));  // construction always terminates
+  }
+  s.primes_ = std::move(primes);
+  s.prefix_.resize(s.primes_.size() + 1, 0);
+  for (std::size_t j = 0; j < s.primes_.size(); ++j) {
+    s.prefix_[j + 1] = s.prefix_[j] + s.primes_[j];
+  }
+  s.size_ = s.prefix_.back();
+  return s;
+}
+
+std::pair<std::int64_t, std::int64_t> Ssf::SetParams(std::int64_t i) const {
+  DCC_REQUIRE(i >= 0 && i < size_, "Ssf: round index out of range");
+  // Find j with prefix_[j] <= i < prefix_[j+1].
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), i);
+  const std::size_t j = static_cast<std::size_t>(it - prefix_.begin()) - 1;
+  return {primes_[j], i - prefix_[j]};
+}
+
+bool Ssf::Member(std::int64_t i, std::int64_t x) const {
+  const auto [p, r] = SetParams(i);
+  return x % p == r;
+}
+
+}  // namespace dcc::sel

@@ -1,0 +1,138 @@
+#include "dcc/sel/verify.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace dcc::sel {
+
+namespace {
+
+// Draws `count` distinct values from [1, N] excluding `exclude` (may be
+// empty). Assumes count << N.
+std::vector<std::int64_t> SampleDistinct(
+    Xoshiro256ss& rng, std::int64_t N, int count,
+    const std::unordered_set<std::int64_t>& exclude) {
+  std::unordered_set<std::int64_t> got;
+  std::vector<std::int64_t> out;
+  while (static_cast<int>(out.size()) < count) {
+    const std::int64_t v = static_cast<std::int64_t>(rng.NextBelow(
+                               static_cast<std::uint64_t>(N))) + 1;
+    if (exclude.count(v) || got.count(v)) continue;
+    got.insert(v);
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+VerifyResult VerifySsfExhaustive(const Ssf& s) {
+  DCC_REQUIRE(s.N() <= 20, "VerifySsfExhaustive: N too large");
+  const int n = static_cast<int>(s.N());
+  const int k = s.k();
+  VerifyResult res;
+
+  // Enumerate all non-empty X with |X| <= k via bitmask popcount filter.
+  const std::uint32_t limit = (n >= 31) ? ~0u : ((1u << n) - 1);
+  for (std::uint32_t X = 1; X <= limit && X != 0; ++X) {
+    if (__builtin_popcount(X) > k) continue;
+    for (int xi = 0; xi < n; ++xi) {
+      if (!((X >> xi) & 1)) continue;
+      const std::int64_t x = xi + 1;
+      ++res.trials;
+      bool selected = false;
+      for (std::int64_t i = 0; i < s.size() && !selected; ++i) {
+        if (!s.Member(i, x)) continue;
+        bool alone = true;
+        for (int yi = 0; yi < n && alone; ++yi) {
+          if (yi == xi || !((X >> yi) & 1)) continue;
+          if (s.Member(i, yi + 1)) alone = false;
+        }
+        selected = alone;
+      }
+      if (!selected) ++res.failures;
+    }
+  }
+  return res;
+}
+
+VerifyResult VerifyWssSampled(const Wss& w, std::int64_t trials,
+                              std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  VerifyResult res;
+  const std::int64_t N = w.N();
+  const int k = w.k();
+  DCC_REQUIRE(N > k, "VerifyWssSampled: need N > k");
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const auto X = SampleDistinct(rng, N, k, {});
+    const std::unordered_set<std::int64_t> Xset(X.begin(), X.end());
+    const std::int64_t x = X[rng.NextBelow(X.size())];
+    const auto ys = SampleDistinct(rng, N, 1, Xset);
+    const std::int64_t y = ys[0];
+    ++res.trials;
+    bool ok = false;
+    for (std::int64_t i = 0; i < w.size() && !ok; ++i) {
+      if (!w.Member(i, x) || !w.Member(i, y)) continue;
+      bool alone = true;
+      for (const std::int64_t z : X) {
+        if (z != x && w.Member(i, z)) {
+          alone = false;
+          break;
+        }
+      }
+      ok = alone;
+    }
+    if (!ok) ++res.failures;
+  }
+  return res;
+}
+
+VerifyResult VerifyWcssSampled(const Wcss& w, std::int64_t trials,
+                               std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  VerifyResult res;
+  const std::int64_t N = w.N();
+  const int k = w.k();
+  const int l = w.l();
+  DCC_REQUIRE(N > k && N > l + 1, "VerifyWcssSampled: N too small");
+  for (std::int64_t t = 0; t < trials; ++t) {
+    // Cluster phi plus a conflict set C of l other clusters.
+    const auto clusters = SampleDistinct(rng, N, l + 1, {});
+    const ClusterId phi = clusters[0];
+    const std::vector<std::int64_t> C(clusters.begin() + 1, clusters.end());
+    // X: k member ids within phi; y: one more id in phi outside X.
+    const auto members = SampleDistinct(rng, N, k + 1, {});
+    const std::vector<std::int64_t> X(members.begin(), members.begin() + k);
+    const std::int64_t x = X[rng.NextBelow(X.size())];
+    const std::int64_t y = members[static_cast<std::size_t>(k)];
+    ++res.trials;
+    bool ok = false;
+    for (std::int64_t i = 0; i < w.size() && !ok; ++i) {
+      if (!w.Member(i, x, phi) || !w.Member(i, y, phi)) continue;
+      bool alone = true;
+      for (const std::int64_t z : X) {
+        if (z != x && w.Member(i, z, phi)) {
+          alone = false;
+          break;
+        }
+      }
+      if (!alone) continue;
+      // The round must be free of all conflict clusters: a cluster is
+      // "present" in a round if it is allowed (any of its pairs could be
+      // scheduled), so freeness means the cluster coin missed.
+      bool free = true;
+      for (const std::int64_t cphi : C) {
+        if (w.ClusterAllowed(i, cphi)) {
+          free = false;
+          break;
+        }
+      }
+      ok = free;
+    }
+    if (!ok) ++res.failures;
+  }
+  return res;
+}
+
+}  // namespace dcc::sel

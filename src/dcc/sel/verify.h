@@ -1,0 +1,41 @@
+// Property verifiers for the selector structures. The ssf verifier is
+// exhaustive (the construction is provable, the verifier is a test oracle
+// for small instances); the wss/wcss verifiers are Monte-Carlo: they sample
+// random (X, x, y[, C]) instances and report the fraction satisfied.
+#pragma once
+
+#include <cstdint>
+
+#include "dcc/common/rng.h"
+#include "dcc/sel/ssf.h"
+#include "dcc/sel/wcss.h"
+#include "dcc/sel/wss.h"
+
+namespace dcc::sel {
+
+struct VerifyResult {
+  std::int64_t trials = 0;
+  std::int64_t failures = 0;
+  double FailureRate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(failures) / static_cast<double>(trials);
+  }
+  bool AllSatisfied() const { return failures == 0; }
+};
+
+// Exhaustively checks the strong-selection property of `s` for every
+// X subset of [1..N] with |X| <= k and every x in X. Exponential in N;
+// requires N <= 20.
+VerifyResult VerifySsfExhaustive(const Ssf& s);
+
+// Samples `trials` random instances (X of size k, x in X, y outside X) and
+// checks the witnessed-selection property.
+VerifyResult VerifyWssSampled(const Wss& w, std::int64_t trials,
+                              std::uint64_t seed);
+
+// Samples `trials` random instances (cluster phi, conflict set C of size l,
+// X of size k inside phi, x in X, y in phi \ X) and checks the
+// witnessed-cluster-aware property.
+VerifyResult VerifyWcssSampled(const Wcss& w, std::int64_t trials,
+                               std::uint64_t seed);
+
+}  // namespace dcc::sel

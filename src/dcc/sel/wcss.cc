@@ -1,0 +1,25 @@
+#include "dcc/sel/wcss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcc::sel {
+
+Wcss Wcss::Construct(std::int64_t N, int k, int l, double c,
+                     std::uint64_t seed) {
+  DCC_REQUIRE(N >= 1 && k >= 1 && l >= 1, "Wcss: bad parameters");
+  DCC_REQUIRE(c > 0, "Wcss: c > 0");
+  const double lnN = std::log(static_cast<double>(std::max<std::int64_t>(N, 2)));
+  const double len = c * (static_cast<double>(k) + static_cast<double>(l)) *
+                     static_cast<double>(l) * static_cast<double>(k) *
+                     static_cast<double>(k) * lnN;
+  return Wcss(N, k, l, static_cast<std::int64_t>(std::ceil(len)), seed);
+}
+
+Wcss Wcss::WithLength(std::int64_t N, int k, int l, std::int64_t m,
+                      std::uint64_t seed) {
+  DCC_REQUIRE(N >= 1 && k >= 1 && l >= 1 && m >= 1, "Wcss: bad parameters");
+  return Wcss(N, k, l, m, seed);
+}
+
+}  // namespace dcc::sel

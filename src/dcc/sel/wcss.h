@@ -1,0 +1,65 @@
+// Witnessed cluster-aware strong selectors (Lemma 3).
+//
+// An (N,k,l)-wcss is a sequence S_1..S_m of subsets of [N]x[N] (pairs
+// (id, cluster)) such that for every set of clusters C (|C| = l), every
+// cluster phi not in C, every X subset of [N]x{phi} with |X| = k, every
+// x in X and every y in cluster phi outside X, there is a set S_i with:
+//    S_i ∩ X = {x},   y in S_i,   and S_i free of all clusters in C.
+//
+// Existence with m = O((k+l) * l * k^2 * log N) is Lemma 3 (probabilistic
+// method; cluster phi allowed with prob 1/l, element included with prob
+// 1/k). We realize it as a seeded implicit membership predicate exactly
+// mirroring that construction; see wss.h for the determinism argument.
+#pragma once
+
+#include <cstdint>
+
+#include "dcc/common/rng.h"
+#include "dcc/common/types.h"
+
+namespace dcc::sel {
+
+class Wcss {
+ public:
+  // Theory-shaped length: ceil(c * (k + l) * l * k^2 * ln N).
+  static Wcss Construct(std::int64_t N, int k, int l, double c,
+                        std::uint64_t seed);
+
+  // Explicit length override (practical profiles).
+  static Wcss WithLength(std::int64_t N, int k, int l, std::int64_t m,
+                         std::uint64_t seed);
+
+  std::int64_t size() const { return m_; }
+  std::int64_t N() const { return n_; }
+  int k() const { return k_; }
+  int l() const { return l_; }
+
+  // Is cluster phi "allowed" in round i? (prob 1/l)
+  bool ClusterAllowed(std::int64_t i, ClusterId phi) const {
+    return hash_.Coin(static_cast<std::uint64_t>(l_),
+                      static_cast<std::uint64_t>(i),
+                      static_cast<std::uint64_t>(phi), 0x1d8e4e27c47d124full);
+  }
+
+  // Is (x, phi) in S_i? Mirrors the Lemma 3 construction: the pair is
+  // present iff its cluster is allowed and the element coin (prob 1/k) hits.
+  bool Member(std::int64_t i, std::int64_t x, ClusterId phi) const {
+    return ClusterAllowed(i, phi) &&
+           hash_.Coin(static_cast<std::uint64_t>(k_),
+                      static_cast<std::uint64_t>(i),
+                      static_cast<std::uint64_t>(x),
+                      static_cast<std::uint64_t>(phi));
+  }
+
+ private:
+  Wcss(std::int64_t N, int k, int l, std::int64_t m, std::uint64_t seed)
+      : n_(N), k_(k), l_(l), m_(m), hash_(seed) {}
+
+  std::int64_t n_;
+  int k_;
+  int l_;
+  std::int64_t m_;
+  StatelessHash hash_;
+};
+
+}  // namespace dcc::sel

@@ -1,0 +1,98 @@
+#include "dcc/sel/wss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace dcc::sel {
+
+Wss Wss::Construct(std::int64_t N, int k, double c, std::uint64_t seed) {
+  DCC_REQUIRE(N >= 1 && k >= 1, "Wss: N >= 1, k >= 1");
+  DCC_REQUIRE(c > 0, "Wss: c > 0");
+  const double lnN = std::log(static_cast<double>(std::max<std::int64_t>(N, 2)));
+  const double len = c * static_cast<double>(k) * static_cast<double>(k) *
+                     (static_cast<double>(k) + 2.0) * lnN;
+  return Wss(N, k, static_cast<std::int64_t>(std::ceil(len)), seed);
+}
+
+Wss Wss::WithLength(std::int64_t N, int k, std::int64_t m, std::uint64_t seed) {
+  DCC_REQUIRE(N >= 1 && k >= 1 && m >= 1, "Wss: bad arguments");
+  return Wss(N, k, m, seed);
+}
+
+namespace {
+
+// Enumerates all k-subsets of [N] as bitmasks.
+void ForAllSubsets(int n, int k, const std::function<void(std::uint32_t)>& fn) {
+  // Gosper's hack over n-bit masks with popcount k.
+  if (k > n) return;
+  std::uint32_t v = (1u << k) - 1;
+  const std::uint32_t limit = 1u << n;
+  while (v < limit) {
+    fn(v);
+    const std::uint32_t t = v | (v - 1);
+    v = (t + 1) | (((~t & (t + 1)) - 1) >> (__builtin_ctz(v) + 1));
+    if (v == 0) break;
+  }
+}
+
+}  // namespace
+
+GreedyWss GreedyWss::Construct(std::int64_t N, int k) {
+  DCC_REQUIRE(N >= 2 && N <= 20, "GreedyWss: N in [2, 20]");
+  DCC_REQUIRE(k >= 1 && k < N, "GreedyWss: 1 <= k < N");
+  const int n = static_cast<int>(N);
+
+  // Constraint list: (X mask, x bit, y bit).
+  struct Constraint {
+    std::uint32_t X;
+    std::uint32_t x;
+    std::uint32_t y;
+  };
+  std::vector<Constraint> cons;
+  ForAllSubsets(n, k, [&](std::uint32_t X) {
+    for (int xi = 0; xi < n; ++xi) {
+      const std::uint32_t xbit = 1u << xi;
+      if (!(X & xbit)) continue;
+      for (int yi = 0; yi < n; ++yi) {
+        const std::uint32_t ybit = 1u << yi;
+        if (X & ybit) continue;
+        cons.push_back({X, xbit, ybit});
+      }
+    }
+  });
+
+  std::vector<bool> covered(cons.size(), false);
+  std::size_t remaining = cons.size();
+  GreedyWss out;
+  const std::uint32_t all = (n == 32) ? ~0u : ((1u << n) - 1);
+  while (remaining > 0) {
+    std::uint32_t best_set = 0;
+    std::size_t best_cover = 0;
+    for (std::uint32_t S = 1; S <= all; ++S) {
+      std::size_t cover = 0;
+      for (std::size_t ci = 0; ci < cons.size(); ++ci) {
+        if (covered[ci]) continue;
+        const auto& c = cons[ci];
+        if ((S & c.X) == c.x && (S & c.y)) ++cover;
+      }
+      if (cover > best_cover) {
+        best_cover = cover;
+        best_set = S;
+      }
+    }
+    DCC_CHECK(best_cover > 0);  // the full constraint set is always coverable
+    out.sets_.push_back(best_set);
+    for (std::size_t ci = 0; ci < cons.size(); ++ci) {
+      if (covered[ci]) continue;
+      const auto& c = cons[ci];
+      if ((best_set & c.X) == c.x && (best_set & c.y)) {
+        covered[ci] = true;
+        --remaining;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dcc::sel

@@ -1,0 +1,22 @@
+// Messages exchanged by protocols. The paper limits messages to O(log N)
+// bits; we model that as a fixed small struct of integer words (each word
+// holds a value polynomial in N, i.e. O(log N) bits). Protocols must not
+// smuggle unbounded data through these fields.
+#pragma once
+
+#include <cstdint>
+
+#include "dcc/common/types.h"
+
+namespace dcc::sim {
+
+struct Message {
+  NodeId src = kNoNode;          // sender id (always included)
+  ClusterId cluster = kNoCluster;  // sender's cluster id, if clustered
+  std::int32_t kind = 0;         // protocol-defined tag
+  std::int64_t a = 0;            // payload words, O(log N) bits each
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+}  // namespace dcc::sim

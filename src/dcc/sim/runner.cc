@@ -1,0 +1,91 @@
+#include "dcc/sim/runner.h"
+
+#include <algorithm>
+
+namespace dcc::sim {
+
+Exec::Exec(const sinr::Network& net) : net_(&net), engine_(net) {
+  is_tx_.assign(net.size(), 0);
+}
+
+void Exec::SetBackgroundTransmitters(std::vector<std::size_t> nodes,
+                                     Message msg) {
+  for (const std::size_t i : nodes) {
+    DCC_REQUIRE(i < net_->size(), "background transmitter index out of range");
+  }
+  background_ = std::move(nodes);
+  background_msg_ = msg;
+}
+
+int Exec::RunRound(const std::vector<std::size_t>& candidates,
+                   const Decide& decide, const Hear& hear) {
+  tx_.clear();
+  msgs_.clear();
+  for (const std::size_t i : candidates) {
+    if (auto m = decide(i)) {
+      tx_.push_back(i);
+      msgs_.push_back(*m);
+    }
+  }
+  for (const std::size_t j : background_) {
+    if (std::find(tx_.begin(), tx_.end(), j) == tx_.end()) {
+      tx_.push_back(j);
+      msgs_.push_back(background_msg_);
+    }
+  }
+  ++round_;
+  max_tx_ = std::max(max_tx_, static_cast<int>(tx_.size()));
+  if (tx_.empty()) {
+    if (observer_) observer_(round_ - 1, tx_, {});
+    return 0;
+  }
+
+  if (slot_of_.size() != net_->size()) slot_of_.assign(net_->size(), 0);
+  for (std::size_t s = 0; s < tx_.size(); ++s) {
+    is_tx_[tx_[s]] = 1;
+    slot_of_[tx_[s]] = s;
+  }
+  listeners_.clear();
+  const std::size_t n = net_->size();
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!is_tx_[u]) listeners_.push_back(u);
+  }
+  const auto receptions = engine_.Step(tx_, listeners_);
+  if (observer_) observer_(round_ - 1, tx_, receptions);
+  for (const auto& rec : receptions) {
+    hear(rec.listener, msgs_[slot_of_[rec.sender]]);
+  }
+  for (const std::size_t i : tx_) is_tx_[i] = 0;
+  return static_cast<int>(tx_.size());
+}
+
+Round Runner::Run(std::vector<NodeProtocol*> protocols, Round max_rounds) {
+  DCC_REQUIRE(protocols.size() == exec_.net().size(),
+              "Runner: one protocol per node");
+  std::vector<std::size_t> all(protocols.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Round executed = 0;
+  while (executed < max_rounds) {
+    bool all_done = true;
+    for (const auto* p : protocols) {
+      if (p != nullptr && !p->Done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    const Round r = exec_.rounds();
+    exec_.RunRound(
+        all,
+        [&](std::size_t i) -> std::optional<Message> {
+          return protocols[i] ? protocols[i]->OnRound(r) : std::nullopt;
+        },
+        [&](std::size_t i, const Message& m) {
+          if (protocols[i]) protocols[i]->OnHear(r, m);
+        });
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace dcc::sim

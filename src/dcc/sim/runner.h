@@ -1,0 +1,108 @@
+// Round execution over the SINR engine.
+//
+// `Exec` is the shared round clock: every protocol stage in a composite
+// algorithm advances the same Exec, so measured round counts are end-to-end.
+//
+// Knowledge discipline: protocol code receives node *indices* for engine
+// efficiency but must base decisions only on node-visible state: own ID,
+// public parameters (N, Gamma, SINR params, profile), the round counter and
+// previously received messages. The cluster algorithms keep per-node state
+// in arrays indexed by node and only ever read their own entry + messages.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dcc/sim/message.h"
+#include "dcc/sinr/engine.h"
+#include "dcc/sinr/network.h"
+
+namespace dcc::sim {
+
+class Exec {
+ public:
+  explicit Exec(const sinr::Network& net);
+
+  using Decide = std::function<std::optional<Message>(std::size_t)>;
+  using Hear = std::function<void(std::size_t, const Message&)>;
+
+  // Runs one SINR round.
+  //  * `candidates`: indices that may transmit; `decide` is called for each
+  //    and a returned message means "transmit".
+  //  * every non-transmitting node is a listener; `hear` fires on each
+  //    successful reception (including nodes outside `candidates` — that is
+  //    how sleeping nodes get woken in the broadcast problems).
+  // Returns the number of transmitters.
+  int RunRound(const std::vector<std::size_t>& candidates,
+               const Decide& decide, const Hear& hear);
+
+  // Advances the round clock without executing (used to account for stages
+  // a node set sits out; keeps measured totals aligned with schedules).
+  void ChargeRounds(Round r) {
+    DCC_REQUIRE(r >= 0, "ChargeRounds: negative charge");
+    round_ += r;
+  }
+
+  Round rounds() const { return round_; }
+  const sinr::Network& net() const { return *net_; }
+  sinr::Engine& engine() { return engine_; }
+
+  // Max transmitters observed in any single round (diagnostics).
+  int max_concurrent_tx() const { return max_tx_; }
+
+  // Optional per-round observer (round, transmitter indices, receptions);
+  // used by test oracles and benches, never by protocol logic.
+  using Observer = std::function<void(Round, const std::vector<std::size_t>&,
+                                      const std::vector<sinr::Reception>&)>;
+  void SetObserver(Observer obs) { observer_ = std::move(obs); }
+
+  // Failure injection: nodes that transmit `msg` in *every* round
+  // (jammers / rogue beacons). They participate in the SINR computation as
+  // interferers, their messages are delivered like any other, and they
+  // never listen. Protocol code is unaware of them — that is the point.
+  void SetBackgroundTransmitters(std::vector<std::size_t> nodes, Message msg);
+  void ClearBackgroundTransmitters() { background_.clear(); }
+
+ private:
+  const sinr::Network* net_;
+  sinr::Engine engine_;
+  Round round_ = 0;
+  int max_tx_ = 0;
+  // scratch, reused across rounds
+  std::vector<std::size_t> tx_;
+  std::vector<Message> msgs_;
+  std::vector<std::size_t> listeners_;
+  std::vector<char> is_tx_;
+  std::vector<std::size_t> slot_of_;
+  Observer observer_;
+  std::vector<std::size_t> background_;
+  Message background_msg_;
+};
+
+// --- Per-node protocol interface (used by baselines and examples). ---
+class NodeProtocol {
+ public:
+  virtual ~NodeProtocol() = default;
+  // Transmit decision for global round r; nullopt = listen.
+  virtual std::optional<Message> OnRound(Round r) = 0;
+  virtual void OnHear(Round r, const Message& m) = 0;
+  // A protocol may declare itself finished; Runner stops when all are.
+  virtual bool Done() const { return false; }
+};
+
+class Runner {
+ public:
+  explicit Runner(const sinr::Network& net) : exec_(net) {}
+
+  // Runs protocols (one per node index, non-null) until all Done() or
+  // max_rounds elapse. Returns rounds executed.
+  Round Run(std::vector<NodeProtocol*> protocols, Round max_rounds);
+
+  Exec& exec() { return exec_; }
+
+ private:
+  Exec exec_;
+};
+
+}  // namespace dcc::sim

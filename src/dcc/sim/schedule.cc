@@ -1,0 +1,34 @@
+#include "dcc/sim/schedule.h"
+
+#include <unordered_map>
+
+namespace dcc::sim {
+
+void ExecuteSchedule(
+    Exec& ex, const Schedule& sched, const std::vector<Participant>& parts,
+    const std::function<std::optional<Message>(std::size_t, std::int64_t)>&
+        make_msg,
+    const std::function<void(std::size_t, const Message&, std::int64_t)>&
+        hear) {
+  std::vector<std::size_t> candidates(parts.size());
+  std::unordered_map<std::size_t, std::size_t> pos;  // node index -> parts pos
+  pos.reserve(parts.size());
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    candidates[p] = parts[p].index;
+    const bool inserted = pos.emplace(parts[p].index, p).second;
+    DCC_REQUIRE(inserted, "ExecuteSchedule: duplicate participant index");
+  }
+
+  for (std::int64_t t = 0; t < sched.size(); ++t) {
+    ex.RunRound(
+        candidates,
+        [&](std::size_t idx) -> std::optional<Message> {
+          const Participant& part = parts[pos.at(idx)];
+          if (!sched.Transmits(t, part.id, part.cluster)) return std::nullopt;
+          return make_msg(idx, t);
+        },
+        [&](std::size_t listener, const Message& m) { hear(listener, m, t); });
+  }
+}
+
+}  // namespace dcc::sim

@@ -1,0 +1,89 @@
+// Transmission schedules (paper, Section 3.1): a schedule is a sequence
+// S_1..S_t of subsets of [N] (unclustered) or [N]x[N] (clustered); a node
+// with id v (and cluster phi) transmits in local round i iff v in S_i
+// (resp. (v, phi) in S_i).
+//
+// `Schedule` is the common interface; concrete schedules wrap the selector
+// structures. `ExecuteSchedule` runs a schedule over an Exec for a
+// participant set — the workhorse of every algorithm in the library.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dcc/sel/ssf.h"
+#include "dcc/sel/wcss.h"
+#include "dcc/sel/wss.h"
+#include "dcc/sim/runner.h"
+
+namespace dcc::sim {
+
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+  virtual std::int64_t size() const = 0;
+  // Does (id, cluster) transmit in local round i? Unclustered schedules
+  // ignore `cluster`.
+  virtual bool Transmits(std::int64_t i, NodeId id, ClusterId cluster) const = 0;
+};
+
+class SsfSchedule final : public Schedule {
+ public:
+  explicit SsfSchedule(sel::Ssf ssf) : ssf_(std::move(ssf)) {}
+  std::int64_t size() const override { return ssf_.size(); }
+  bool Transmits(std::int64_t i, NodeId id, ClusterId) const override {
+    return ssf_.Member(i, id);
+  }
+  const sel::Ssf& ssf() const { return ssf_; }
+
+ private:
+  sel::Ssf ssf_;
+};
+
+class WssSchedule final : public Schedule {
+ public:
+  explicit WssSchedule(sel::Wss wss) : wss_(wss) {}
+  std::int64_t size() const override { return wss_.size(); }
+  bool Transmits(std::int64_t i, NodeId id, ClusterId) const override {
+    return wss_.Member(i, id);
+  }
+
+ private:
+  sel::Wss wss_;
+};
+
+class WcssSchedule final : public Schedule {
+ public:
+  explicit WcssSchedule(sel::Wcss wcss) : wcss_(wcss) {}
+  std::int64_t size() const override { return wcss_.size(); }
+  bool Transmits(std::int64_t i, NodeId id, ClusterId cluster) const override {
+    return wcss_.Member(i, id, cluster);
+  }
+  const sel::Wcss& wcss() const { return wcss_; }
+
+ private:
+  sel::Wcss wcss_;
+};
+
+// A participant in a schedule execution: node index plus the identity the
+// schedule keys on.
+struct Participant {
+  std::size_t index = 0;
+  NodeId id = kNoNode;
+  ClusterId cluster = kNoCluster;
+};
+
+// Runs `sched` from its first to last round on `ex`.
+//  * `make_msg(index, local_round)` produces the message a scheduled
+//    participant sends (nullopt = stay silent even when scheduled).
+//  * `hear(listener_index, msg, local_round)` fires per reception at any
+//    listening node of the network.
+void ExecuteSchedule(
+    Exec& ex, const Schedule& sched, const std::vector<Participant>& parts,
+    const std::function<std::optional<Message>(std::size_t, std::int64_t)>&
+        make_msg,
+    const std::function<void(std::size_t, const Message&, std::int64_t)>& hear);
+
+}  // namespace dcc::sim

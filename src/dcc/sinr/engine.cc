@@ -1,0 +1,69 @@
+#include "dcc/sinr/engine.h"
+
+#include <algorithm>
+
+namespace dcc::sinr {
+
+Engine::Engine(const Network& net) : net_(&net) {}
+
+std::vector<Reception> Engine::Step(
+    const std::vector<std::size_t>& transmitters,
+    const std::vector<std::size_t>& listeners) const {
+  ++stats_.rounds;
+  stats_.transmissions += static_cast<std::int64_t>(transmitters.size());
+  std::vector<Reception> out;
+  if (transmitters.empty() || listeners.empty()) return out;
+
+  const Network& net = *net_;
+  const double beta = net.params().beta;
+  const double noise = net.params().noise;
+
+  for (const std::size_t u : listeners) {
+    double total = 0.0;
+    double best = -1.0;
+    std::size_t best_tx = 0;
+    for (const std::size_t v : transmitters) {
+      DCC_CHECK(v != u);  // a transmitter cannot listen
+      const double g = net.Gain(v, u);
+      total += g;
+      if (g > best) {
+        best = g;
+        best_tx = v;
+      }
+    }
+    const double interference = total - best;
+    const double sinr = best / (noise + interference);
+    if (sinr >= beta) {
+      out.push_back(Reception{u, best_tx, sinr});
+      ++stats_.receptions;
+    }
+  }
+  return out;
+}
+
+double Engine::Sinr(std::size_t v, std::size_t u,
+                    const std::vector<std::size_t>& transmitters) const {
+  const Network& net = *net_;
+  double interference = 0.0;
+  bool v_transmits = false;
+  for (const std::size_t w : transmitters) {
+    if (w == v) {
+      v_transmits = true;
+      continue;
+    }
+    interference += net.Gain(w, u);
+  }
+  DCC_REQUIRE(v_transmits, "Sinr: v must be in the transmitter set");
+  return net.Gain(v, u) / (net.params().noise + interference);
+}
+
+double Engine::InterferenceAt(
+    std::size_t u, const std::vector<std::size_t>& transmitters) const {
+  double total = 0.0;
+  for (const std::size_t w : transmitters) {
+    if (w != u) total += net_->Gain(w, u);
+  }
+  return total;
+}
+
+}  // namespace dcc::sinr

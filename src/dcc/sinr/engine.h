@@ -1,0 +1,60 @@
+// The SINR round engine: given the set of transmitters in a round, computes
+// which listeners successfully receive and from whom (Eq. 1 of the paper).
+//
+// Because beta > 1, at most one transmitter can satisfy the SINR constraint
+// at a given listener, so reception resolves to "the strongest transmitter,
+// if its SINR clears beta" — the engine computes exactly that.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "dcc/sinr/network.h"
+
+namespace dcc::sinr {
+
+// Result of one round for one listener.
+struct Reception {
+  std::size_t listener = 0;
+  std::size_t sender = 0;
+  double sinr = 0.0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Network& net);
+
+  // Computes receptions for one round.
+  //  * `transmitters`: indices of nodes transmitting this round.
+  //  * `listeners`: indices of nodes listening (a transmitter never listens;
+  //    passing it as a listener is an error).
+  // Returns one entry per successful reception.
+  std::vector<Reception> Step(const std::vector<std::size_t>& transmitters,
+                              const std::vector<std::size_t>& listeners) const;
+
+  // SINR of transmitter `v` at listener `u` under transmitter set T.
+  double Sinr(std::size_t v, std::size_t u,
+              const std::vector<std::size_t>& transmitters) const;
+
+  // Total interference power at `u` from `transmitters` (no noise term).
+  double InterferenceAt(std::size_t u,
+                        const std::vector<std::size_t>& transmitters) const;
+
+  const Network& net() const { return *net_; }
+
+  // Cumulative counters (diagnostics for benches).
+  struct Stats {
+    std::int64_t rounds = 0;
+    std::int64_t transmissions = 0;
+    std::int64_t receptions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  const Network* net_;
+  mutable Stats stats_;
+};
+
+}  // namespace dcc::sinr

@@ -1,0 +1,44 @@
+#include "dcc/stats/recorder.h"
+
+#include <ostream>
+
+namespace dcc::stats {
+
+std::size_t Recorder::FindOrCreate(const std::string& key) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == key) return i;
+  }
+  entries_.emplace_back(key, 0.0);
+  return entries_.size() - 1;
+}
+
+void Recorder::Add(const std::string& key, double value) {
+  entries_[FindOrCreate(key)].second += value;
+}
+
+void Recorder::Set(const std::string& key, double value) {
+  entries_[FindOrCreate(key)].second = value;
+}
+
+double Recorder::Get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return 0.0;
+}
+
+bool Recorder::Has(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Recorder::Print(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  for (const auto& [k, v] : entries_) {
+    os << pad << k << " = " << v << '\n';
+  }
+}
+
+}  // namespace dcc::stats

@@ -1,0 +1,31 @@
+// Lightweight named-counter recorder used by benches to collect per-stage
+// round counts and derived metrics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcc::stats {
+
+class Recorder {
+ public:
+  void Add(const std::string& key, double value);
+  void Set(const std::string& key, double value);
+  double Get(const std::string& key) const;  // 0 if absent
+  bool Has(const std::string& key) const;
+
+  // Insertion-ordered (key, value) view.
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+  void Print(std::ostream& os, int indent = 0) const;
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+  std::size_t FindOrCreate(const std::string& key);
+};
+
+}  // namespace dcc::stats

@@ -1,0 +1,170 @@
+#include "dcc/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "dcc/common/rng.h"
+
+namespace dcc::workload {
+
+std::vector<Vec2> UniformSquare(int n, double side, std::uint64_t seed) {
+  DCC_REQUIRE(n >= 0 && side > 0, "UniformSquare: bad arguments");
+  Xoshiro256ss rng(seed);
+  std::vector<Vec2> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) p = {rng.NextDouble() * side, rng.NextDouble() * side};
+  return pts;
+}
+
+std::vector<Vec2> BlobChain(int blobs, int per_blob, double sigma,
+                            double spacing, std::uint64_t seed) {
+  DCC_REQUIRE(blobs >= 1 && per_blob >= 1, "BlobChain: bad arguments");
+  Xoshiro256ss rng(seed);
+  std::normal_distribution<double> gauss(0.0, sigma);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(blobs) * per_blob);
+  for (int b = 0; b < blobs; ++b) {
+    const Vec2 center{spacing * b, 0.0};
+    for (int i = 0; i < per_blob; ++i) {
+      pts.push_back({center.x + gauss(rng), center.y + gauss(rng)});
+    }
+  }
+  return pts;
+}
+
+std::vector<Vec2> Grid(int rows, int cols, double pitch) {
+  DCC_REQUIRE(rows >= 1 && cols >= 1 && pitch > 0, "Grid: bad arguments");
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      pts.push_back({c * pitch, r * pitch});
+    }
+  }
+  return pts;
+}
+
+std::vector<Vec2> Line(int n, double pitch, std::uint64_t seed) {
+  DCC_REQUIRE(n >= 1 && pitch > 0, "Line: bad arguments");
+  Xoshiro256ss rng(seed);
+  std::vector<Vec2> pts(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts[static_cast<std::size_t>(i)] = {i * pitch,
+                                        (rng.NextDouble() - 0.5) * 1e-3};
+  }
+  return pts;
+}
+
+std::vector<Vec2> Ring(int n, double radius) {
+  DCC_REQUIRE(n >= 1 && radius > 0, "Ring: bad arguments");
+  std::vector<Vec2> pts(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * 3.14159265358979 * i / n;
+    pts[static_cast<std::size_t>(i)] = {radius * std::cos(a),
+                                        radius * std::sin(a)};
+  }
+  return pts;
+}
+
+std::vector<Vec2> ConnectedUniform(int n, double side, sinr::Params params,
+                                   std::uint64_t seed, int max_tries) {
+  for (int t = 0; t < max_tries; ++t) {
+    auto pts = UniformSquare(n, side, seed + static_cast<std::uint64_t>(t));
+    sinr::Network net = sinr::Network::WithSequentialIds(pts, params);
+    if (net.Connected()) return pts;
+  }
+  throw InvalidArgument(
+      "ConnectedUniform: could not generate a connected network; "
+      "increase n or shrink the side length");
+}
+
+std::vector<Vec2> Corridor(int n, double length, double width, int holes,
+                           double hole_side, std::uint64_t seed) {
+  DCC_REQUIRE(n >= 0 && length > 0 && width > 0, "Corridor: bad dimensions");
+  DCC_REQUIRE(holes >= 0 && hole_side >= 0, "Corridor: bad holes");
+  Xoshiro256ss rng(seed);
+  // Hole centers evenly spaced along the corridor midline.
+  std::vector<Vec2> centers;
+  for (int h = 0; h < holes; ++h) {
+    centers.push_back({length * (h + 1) / (holes + 1), width / 2});
+  }
+  const auto blocked = [&](Vec2 p) {
+    for (const Vec2& c : centers) {
+      if (std::abs(p.x - c.x) <= hole_side / 2 &&
+          std::abs(p.y - c.y) <= hole_side / 2) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  int guard = 0;
+  while (static_cast<int>(pts.size()) < n) {
+    const Vec2 p{rng.NextDouble() * length, rng.NextDouble() * width};
+    if (!blocked(p)) pts.push_back(p);
+    DCC_REQUIRE(++guard < 1000 * (n + 1),
+                "Corridor: holes cover too much of the corridor");
+  }
+  return pts;
+}
+
+std::vector<Vec2> TwoScale(int n_sparse, double side, int hotspots,
+                           int n_dense, double sigma, std::uint64_t seed) {
+  DCC_REQUIRE(n_sparse >= 0 && hotspots >= 0 && n_dense >= 0,
+              "TwoScale: bad counts");
+  Xoshiro256ss rng(seed);
+  std::normal_distribution<double> gauss(0.0, sigma);
+  std::vector<Vec2> pts = UniformSquare(n_sparse, side, seed ^ 0xABCDu);
+  for (int h = 0; h < hotspots; ++h) {
+    const Vec2 c{rng.NextDouble() * side, rng.NextDouble() * side};
+    for (int i = 0; i < n_dense; ++i) {
+      pts.push_back({c.x + gauss(rng), c.y + gauss(rng)});
+    }
+  }
+  return pts;
+}
+
+std::vector<Vec2> Star(int arms, int per_arm, double pitch) {
+  DCC_REQUIRE(arms >= 1 && per_arm >= 0 && pitch > 0, "Star: bad arguments");
+  std::vector<Vec2> pts{{0.0, 0.0}};  // hub
+  for (int a = 0; a < arms; ++a) {
+    const double ang = 2.0 * 3.14159265358979 * a / arms;
+    for (int i = 1; i <= per_arm; ++i) {
+      pts.push_back({i * pitch * std::cos(ang), i * pitch * std::sin(ang)});
+    }
+  }
+  return pts;
+}
+
+sinr::Network MakeNetwork(std::vector<Vec2> pts, sinr::Params params,
+                          std::uint64_t id_seed) {
+  DCC_REQUIRE(static_cast<std::int64_t>(pts.size()) <= params.id_space,
+              "MakeNetwork: more nodes than ids");
+  // Sample a random injection [n] -> [1, id_space].
+  Xoshiro256ss rng(id_seed);
+  std::vector<NodeId> ids;
+  if (static_cast<std::int64_t>(pts.size()) * 4 >= params.id_space) {
+    // Dense regime: permute [1, id_space] and take a prefix.
+    std::vector<NodeId> all(static_cast<std::size_t>(params.id_space));
+    std::iota(all.begin(), all.end(), NodeId{1});
+    std::shuffle(all.begin(), all.end(), rng);
+    ids.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(pts.size()));
+  } else {
+    // Sparse regime: rejection-sample distinct ids.
+    std::vector<char> used(static_cast<std::size_t>(params.id_space) + 1, 0);
+    while (ids.size() < pts.size()) {
+      const NodeId id = static_cast<NodeId>(
+                            rng.NextBelow(static_cast<std::uint64_t>(
+                                params.id_space))) + 1;
+      if (!used[static_cast<std::size_t>(id)]) {
+        used[static_cast<std::size_t>(id)] = 1;
+        ids.push_back(id);
+      }
+    }
+  }
+  return sinr::Network(std::move(pts), std::move(ids), params);
+}
+
+}  // namespace dcc::workload

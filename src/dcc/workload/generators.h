@@ -1,0 +1,59 @@
+// Network generators for experiments: uniform squares, Gaussian blob
+// chains, grids, lines, rings — plus helpers to retry until the
+// communication graph is connected (the global-broadcast experiments need
+// connectivity). All generation is seed-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/common/geometry.h"
+#include "dcc/sinr/network.h"
+
+namespace dcc::workload {
+
+// n points uniform in [0, side] x [0, side].
+std::vector<Vec2> UniformSquare(int n, double side, std::uint64_t seed);
+
+// `blobs` Gaussian clusters of `per_blob` points with standard deviation
+// `sigma`, blob centers spaced `spacing` apart on a line. Produces
+// elongated multi-hop networks with dense spots (the Fig. 1 topology).
+std::vector<Vec2> BlobChain(int blobs, int per_blob, double sigma,
+                            double spacing, std::uint64_t seed);
+
+// Regular grid with the given pitch.
+std::vector<Vec2> Grid(int rows, int cols, double pitch);
+
+// Line of n nodes with the given pitch (plus tiny jitter to avoid exact
+// collinearity degeneracies).
+std::vector<Vec2> Line(int n, double pitch, std::uint64_t seed);
+
+// Ring of n nodes with the given radius.
+std::vector<Vec2> Ring(int n, double radius);
+
+// Uniform square resampled (with the seed advanced) until the communication
+// graph under `params` is connected; throws after `max_tries`.
+std::vector<Vec2> ConnectedUniform(int n, double side, sinr::Params params,
+                                   std::uint64_t seed, int max_tries = 64);
+
+// A corridor with obstructions: nodes uniform over [0, length] x [0, width]
+// except inside `holes` evenly spaced square cut-outs of side `hole_side` —
+// elongated topologies with pinch points (hard cases for broadcast).
+std::vector<Vec2> Corridor(int n, double length, double width, int holes,
+                           double hole_side, std::uint64_t seed);
+
+// Two-scale field: a sparse uniform backdrop (n_sparse over side x side)
+// plus `hotspots` dense clusters of n_dense points with deviation sigma —
+// extreme density contrast in one network (stresses the Gamma machinery).
+std::vector<Vec2> TwoScale(int n_sparse, double side, int hotspots,
+                           int n_dense, double sigma, std::uint64_t seed);
+
+// Star: `arms` rays of `per_arm` nodes at `pitch` from a shared hub.
+std::vector<Vec2> Star(int arms, int per_arm, double pitch);
+
+// Builds a network with ids randomly permuted over [1, id_space] (the
+// algorithms must not depend on ids being 1..n).
+sinr::Network MakeNetwork(std::vector<Vec2> pts, sinr::Params params,
+                          std::uint64_t id_seed);
+
+}  // namespace dcc::workload

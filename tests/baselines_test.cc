@@ -1,0 +1,144 @@
+// Baseline algorithms: correctness of the comparators used by Tables 1-2.
+#include <gtest/gtest.h>
+
+#include "dcc/baselines/decay_global.h"
+#include "dcc/baselines/grid_tdma.h"
+#include "dcc/baselines/rand_local.h"
+#include "dcc/baselines/tdma.h"
+#include "dcc/cluster/validate.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::baselines {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 10;
+  return p;
+}
+
+std::vector<std::size_t> AllIndices(const sinr::Network& net) {
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+TEST(RandLocalTest, KnownDeltaCoversUniformField) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(80, 4.0, 5);
+  const auto net = workload::MakeNetwork(pts, params, 3);
+  const auto all = AllIndices(net);
+  const int delta = cluster::SubsetDensity(net, all);
+  sim::Exec ex(net);
+  const auto res = RandLocalBroadcastKnown(ex, all, delta, 1.0, 24.0, 42);
+  EXPECT_TRUE(res.covered) << res.covered_nodes << "/" << res.members;
+  EXPECT_LE(res.rounds_to_cover, res.rounds_budget);
+}
+
+TEST(RandLocalTest, UnknownDeltaDoublingCovers) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(64, 4.0, 9);
+  const auto net = workload::MakeNetwork(pts, params, 7);
+  const auto all = AllIndices(net);
+  const int delta = cluster::SubsetDensity(net, all);
+  sim::Exec ex(net);
+  const auto res = RandLocalBroadcastUnknown(ex, all, delta * 2, 1.0, 24.0, 7);
+  EXPECT_TRUE(res.covered);
+}
+
+TEST(RandLocalTest, DifferentSeedsDifferentRounds) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(48, 3.0, 4);
+  const auto net = workload::MakeNetwork(pts, params, 5);
+  const auto all = AllIndices(net);
+  sim::Exec ex1(net), ex2(net);
+  const auto a = RandLocalBroadcastKnown(ex1, all, 10, 1.0, 24.0, 1);
+  const auto b = RandLocalBroadcastKnown(ex2, all, 10, 1.0, 24.0, 2);
+  // Randomized: completion rounds almost surely differ across seeds.
+  EXPECT_NE(a.rounds_to_cover, b.rounds_to_cover);
+}
+
+TEST(DecayGlobalTest, ReachesWholeConnectedNetwork) {
+  const auto params = TestParams();
+  auto pts = workload::ConnectedUniform(64, 4.0, params, 11);
+  const auto net = workload::MakeNetwork(pts, params, 13);
+  sim::Exec ex(net);
+  const auto res =
+      DecayGlobalBroadcast(ex, 0, net.Density(), 200000, 3);
+  EXPECT_TRUE(res.all_awake) << res.awake << "/" << net.size();
+  EXPECT_EQ(res.awake_at[0], 0);
+}
+
+TEST(DecayGlobalTest, WakeTimesMonotoneInHops) {
+  const auto params = TestParams();
+  auto pts = workload::Line(16, 0.7, 8);
+  const auto net = workload::MakeNetwork(pts, params, 17);
+  sim::Exec ex(net);
+  const auto res = DecayGlobalBroadcast(ex, 0, net.Density(), 200000, 5);
+  ASSERT_TRUE(res.all_awake);
+  // The far end must wake after the near end (sanity of propagation).
+  EXPECT_GT(res.awake_at[15], res.awake_at[1]);
+}
+
+TEST(TdmaTest, LocalBroadcastAlwaysCompletesInNRounds) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(48, 3.0, 21);
+  const auto net = workload::MakeNetwork(pts, params, 19);
+  const auto all = AllIndices(net);
+  sim::Exec ex(net);
+  const auto res = TdmaLocalBroadcast(ex, all);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.rounds, params.id_space);  // exactly N rounds, no collisions
+}
+
+TEST(TdmaTest, GlobalBroadcastTakesDSweeps) {
+  const auto params = TestParams();
+  auto pts = workload::Line(12, 0.7, 2);
+  const auto net = workload::MakeNetwork(pts, params, 23);
+  sim::Exec ex(net);
+  const auto res = TdmaGlobalBroadcast(ex, 0, net.Diameter() + 2);
+  EXPECT_TRUE(res.complete);
+  // At least one full N-round sweep, at most ~D of them. (Within a sweep a
+  // message can travel several hops when slot order cooperates, and
+  // reception range 1.0 exceeds the comm radius, so D-1 sweeps is not a
+  // lower bound.)
+  EXPECT_GE(res.rounds, params.id_space);
+  EXPECT_LE(res.rounds, params.id_space * (net.Diameter() + 2));
+}
+
+TEST(GridTdmaTest, CoversWithLocationKnowledge) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(96, 4.0, 31);
+  const auto net = workload::MakeNetwork(pts, params, 29);
+  const auto all = AllIndices(net);
+  sim::Exec ex(net);
+  const auto res = GridTdmaLocalBroadcast(ex, all, 6);
+  EXPECT_TRUE(res.covered) << res.covered_nodes << "/" << res.members;
+  // Rounds = s^2 * occupancy, linear in density, independent of N.
+  EXPECT_EQ(res.rounds,
+            static_cast<Round>(res.cell_colors) * res.max_occupancy);
+}
+
+TEST(GridTdmaTest, RoundsScaleWithDensityNotIdSpace) {
+  sinr::Params params = TestParams();
+  params.id_space = 1 << 20;  // huge id space: must not matter
+  auto pts = workload::UniformSquare(64, 4.0, 7);
+  const auto net = workload::MakeNetwork(pts, params, 5);
+  const auto all = AllIndices(net);
+  sim::Exec ex(net);
+  const auto res = GridTdmaLocalBroadcast(ex, all, 6);
+  EXPECT_TRUE(res.covered);
+  EXPECT_LT(res.rounds, 2000);  // nowhere near N = 2^20
+}
+
+TEST(GridTdmaTest, PeriodTooSmallRejected) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(16, 3.0, 2);
+  const auto net = workload::MakeNetwork(pts, params, 3);
+  sim::Exec ex(net);
+  EXPECT_THROW(GridTdmaLocalBroadcast(ex, AllIndices(net), 2),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcc::baselines

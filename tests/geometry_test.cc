@@ -1,0 +1,139 @@
+#include "dcc/common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcc {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((2.0 * a), (Vec2{2.0, 4.0}));
+}
+
+TEST(DistTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Dist({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Dist({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Dist2({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(BallTest, ContainsBoundary) {
+  const Ball b{{0, 0}, 1.0};
+  EXPECT_TRUE(b.Contains({1.0, 0.0}));
+  EXPECT_TRUE(b.Contains({0.0, 0.0}));
+  EXPECT_FALSE(b.Contains({1.0001, 0.0}));
+}
+
+TEST(ChiUpperBoundTest, SinglePointWhenSeparationExceedsDiameter) {
+  EXPECT_EQ(ChiUpperBound(1.0, 2.5), 1);
+}
+
+TEST(ChiUpperBoundTest, MatchesPackingFormula) {
+  // (1 + 2*r1/r2)^2 floored.
+  EXPECT_EQ(ChiUpperBound(1.0, 1.0), 9);
+  EXPECT_EQ(ChiUpperBound(5.0, 1.0), 121);
+  EXPECT_EQ(ChiUpperBound(1.0, 0.5), 25);
+}
+
+TEST(ChiUpperBoundTest, IsActuallyAnUpperBoundForGrids) {
+  // Pack a grid with pitch exactly r2 = 0.5 into a ball of radius 1: count
+  // the points and compare.
+  const double r2 = 0.5;
+  int count = 0;
+  for (int x = -4; x <= 4; ++x) {
+    for (int y = -4; y <= 4; ++y) {
+      if (Dist({x * r2, y * r2}, {0, 0}) <= 1.0) ++count;
+    }
+  }
+  EXPECT_LE(count, ChiUpperBound(1.0, r2));
+}
+
+TEST(ChiUpperBoundTest, RejectsBadArguments) {
+  EXPECT_THROW(ChiUpperBound(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(ChiUpperBound(1.0, -1.0), InvalidArgument);
+}
+
+TEST(CloseDistanceBoundTest, SmallGammaIsDiameter) {
+  EXPECT_DOUBLE_EQ(CloseDistanceBound(1, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(CloseDistanceBound(2, 2.0), 4.0);
+}
+
+TEST(CloseDistanceBoundTest, DecreasesWithGamma) {
+  double prev = CloseDistanceBound(4, 1.0);
+  for (int g = 8; g <= 1024; g *= 2) {
+    const double d = CloseDistanceBound(g, 1.0);
+    EXPECT_LE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(CloseDistanceBoundTest, InverseOfChi) {
+  // chi(r, d_bound) should be >= Gamma/2 (the defining property).
+  for (int g : {8, 32, 128}) {
+    const double d = CloseDistanceBound(g, 1.0);
+    EXPECT_GE(ChiUpperBound(1.0, d), g / 2) << "gamma=" << g;
+  }
+}
+
+TEST(BoundingBoxTest, Basic) {
+  const std::vector<Vec2> pts{{0, 1}, {2, -1}, {1, 5}};
+  const Box b = BoundingBox(pts);
+  EXPECT_DOUBLE_EQ(b.lo.x, 0);
+  EXPECT_DOUBLE_EQ(b.lo.y, -1);
+  EXPECT_DOUBLE_EQ(b.hi.x, 2);
+  EXPECT_DOUBLE_EQ(b.hi.y, 5);
+}
+
+TEST(PointGridTest, NearFindsExactlyTheBallMembers) {
+  std::vector<Vec2> pts;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) pts.push_back({x * 0.5, y * 0.5});
+  }
+  const PointGrid grid(pts, 1.0);
+  const Vec2 q{2.25, 2.25};
+  const auto got = grid.Near(q, 1.0);
+  // Brute-force reference.
+  std::vector<std::size_t> want;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (Dist(pts[i], q) <= 1.0) want.push_back(i);
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(grid.CountNear(q, 1.0), static_cast<int>(want.size()));
+}
+
+TEST(PointGridTest, NegativeCoordinates) {
+  const std::vector<Vec2> pts{{-3.7, -2.1}, {-3.6, -2.0}, {4.0, 4.0}};
+  const PointGrid grid(pts, 1.0);
+  EXPECT_EQ(grid.CountNear({-3.65, -2.05}, 0.5), 2);
+  EXPECT_EQ(grid.CountNear({4.0, 4.0}, 0.1), 1);
+}
+
+TEST(UnitBallDensityTest, UniformGrid) {
+  // Pitch-1 grid: a unit ball centered on a node covers its 4 axis
+  // neighbors plus itself.
+  std::vector<Vec2> pts;
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) pts.push_back({double(x), double(y)});
+  }
+  EXPECT_EQ(UnitBallDensity(pts), 5);
+}
+
+TEST(UnitBallDensityTest, EmptyAndSingle) {
+  EXPECT_EQ(UnitBallDensity({}), 0);
+  const std::vector<Vec2> one{{0, 0}};
+  EXPECT_EQ(UnitBallDensity(one), 1);
+}
+
+TEST(UnitBallDensityTest, Cluster) {
+  std::vector<Vec2> pts(17, Vec2{0.1, 0.1});
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    pts[i].x += 0.001 * static_cast<double>(i);
+  }
+  EXPECT_EQ(UnitBallDensity(pts), 17);
+}
+
+}  // namespace
+}  // namespace dcc

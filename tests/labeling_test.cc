@@ -1,0 +1,109 @@
+// Lemma 11: imperfect labeling — labels in [1, Gamma]; per cluster, each
+// label is used at most c = O(1) times.
+#include "dcc/cluster/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dcc/cluster/clustering.h"
+#include "dcc/cluster/validate.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::cluster {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 12;
+  return p;
+}
+
+std::vector<std::size_t> AllIndices(const sinr::Network& net) {
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+TEST(LabelingTest, SingleDenseClusterGetsNearUniqueLabels) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({0.04 * i, 0.05 * (i % 5)});
+  const auto net = workload::MakeNetwork(pts, params, 17);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> cl(net.size(), net.id(0));
+
+  sim::Exec ex(net);
+  const auto lab =
+      ImperfectLabeling(ex, prof, AllIndices(net), cl, 20, 1);
+  const auto chk = CheckLabeling(net, AllIndices(net), cl, lab.label);
+  EXPECT_TRUE(chk.all_labeled);
+  EXPECT_LE(chk.max_label, 20);
+  // Nodes split into O(1) trees per cluster; multiplicity = #trees.
+  EXPECT_LE(chk.max_multiplicity, 2 * prof.kappa);
+}
+
+TEST(LabelingTest, LabelsWithinGammaOnClusteredWorkload) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(96, 4.0, 23);
+  const auto net = workload::MakeNetwork(pts, params, 29);
+  const auto prof = Profile::Practical(params.id_space);
+  const auto all = AllIndices(net);
+  const int gamma = SubsetDensity(net, all);
+
+  // Real clustering from the pipeline.
+  sim::Exec ex(net);
+  const auto cl = BuildClustering(ex, prof, all, gamma, 5);
+  ASSERT_EQ(cl.unassigned, 0u);
+
+  const auto lab = ImperfectLabeling(ex, prof, all, cl.cluster_of, gamma,
+                                     0xBEEF);
+  const auto chk = CheckLabeling(net, all, cl.cluster_of, lab.label);
+  EXPECT_TRUE(chk.all_labeled);
+  EXPECT_LE(chk.max_label, std::max(gamma, chk.max_multiplicity));
+  EXPECT_LE(chk.max_multiplicity, 2 * prof.kappa);
+}
+
+TEST(LabelingTest, SparseSetTriviallyLabeled) {
+  const auto params = TestParams();
+  auto pts = workload::Grid(3, 3, 2.0);  // pairwise > 1 apart
+  const auto net = workload::MakeNetwork(pts, params, 3);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> cl(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) cl[i] = net.id(i);  // own cluster
+  sim::Exec ex(net);
+  const auto lab = ImperfectLabeling(ex, prof, AllIndices(net), cl, 4, 2);
+  for (const auto& [id, l] : lab.label) EXPECT_EQ(l, 1);
+}
+
+class LabelingSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(LabelingSweep, MultiplicityStaysConstant) {
+  const auto [n, side, seed] = GetParam();
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(n, side, static_cast<std::uint64_t>(seed));
+  const auto net = workload::MakeNetwork(
+      pts, params, static_cast<std::uint64_t>(seed) + 41);
+  const auto prof = Profile::Practical(params.id_space);
+  const auto all = AllIndices(net);
+  const int gamma = SubsetDensity(net, all);
+  sim::Exec ex(net);
+  const auto cl = BuildClustering(ex, prof, all, gamma,
+                                  static_cast<std::uint64_t>(seed));
+  ASSERT_EQ(cl.unassigned, 0u);
+  const auto lab = ImperfectLabeling(ex, prof, all, cl.cluster_of, gamma,
+                                     static_cast<std::uint64_t>(seed) + 1);
+  const auto chk = CheckLabeling(net, all, cl.cluster_of, lab.label);
+  EXPECT_TRUE(chk.all_labeled);
+  EXPECT_LE(chk.max_multiplicity, 2 * prof.kappa)
+      << "n=" << n << " side=" << side << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LabelingSweep,
+                         ::testing::Values(std::tuple{64, 3.0, 1},
+                                           std::tuple{96, 4.0, 2},
+                                           std::tuple{128, 5.0, 3}));
+
+}  // namespace
+}  // namespace dcc::cluster

@@ -1,0 +1,66 @@
+#include "dcc/common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dcc {
+namespace {
+
+TEST(CeilLog2Test, KnownValues) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1 << 20), 20);
+  EXPECT_EQ(CeilLog2((1 << 20) + 1), 21);
+}
+
+TEST(LogStarTest, TowerValues) {
+  EXPECT_EQ(LogStar(1), 0);
+  EXPECT_EQ(LogStar(2), 1);
+  EXPECT_EQ(LogStar(4), 2);
+  EXPECT_EQ(LogStar(16), 3);
+  EXPECT_EQ(LogStar(65536), 4);
+  EXPECT_EQ(LogStar(65537), 5);
+  EXPECT_EQ(LogStar(1e300), 5);
+}
+
+TEST(CeilLog43Test, KnownValues) {
+  EXPECT_EQ(CeilLog43(1), 0);
+  // (4/3)^3 = 2.37; (4/3)^4 = 3.16
+  EXPECT_EQ(CeilLog43(3), 4);
+  EXPECT_GE(CeilLog43(16), 9);  // (4/3)^9 = 13.3, (4/3)^10 = 17.7
+  EXPECT_LE(CeilLog43(16), 10);
+}
+
+TEST(IsPrimeTest, SmallValues) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(91));  // 7*13
+  EXPECT_TRUE(IsPrime(7919));
+}
+
+TEST(PrimesInRangeTest, MatchesSieve) {
+  const auto primes = PrimesInRange(10, 30);
+  const std::vector<std::int64_t> want{11, 13, 17, 19, 23, 29};
+  EXPECT_EQ(primes, want);
+}
+
+TEST(PrimesInRangeTest, EmptyRange) {
+  EXPECT_TRUE(PrimesInRange(24, 28).empty());
+  EXPECT_TRUE(PrimesInRange(20, 10).empty());
+}
+
+TEST(NextPrimeTest, KnownValues) {
+  EXPECT_EQ(NextPrime(0), 2);
+  EXPECT_EQ(NextPrime(14), 17);
+  EXPECT_EQ(NextPrime(17), 17);
+  EXPECT_EQ(NextPrime(90), 97);
+}
+
+}  // namespace
+}  // namespace dcc

@@ -1,0 +1,83 @@
+#include "dcc/sinr/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcc::sinr {
+namespace {
+
+Network LineNetwork(int n, double pitch) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) pts.push_back({i * pitch, 0.0});
+  return Network::WithSequentialIds(std::move(pts), Params::Default());
+}
+
+TEST(NetworkTest, IdsAndIndices) {
+  const Network net = LineNetwork(5, 0.5);
+  EXPECT_EQ(net.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(net.id(i), static_cast<NodeId>(i + 1));
+    EXPECT_EQ(net.IndexOf(net.id(i)), i);
+  }
+  EXPECT_TRUE(net.HasId(3));
+  EXPECT_FALSE(net.HasId(99));
+  EXPECT_THROW(net.IndexOf(99), InvalidArgument);
+}
+
+TEST(NetworkTest, DuplicateIdsRejected) {
+  std::vector<Vec2> pts{{0, 0}, {1, 0}};
+  std::vector<NodeId> ids{5, 5};
+  EXPECT_THROW(Network(pts, ids, Params::Default()), InvalidArgument);
+}
+
+TEST(NetworkTest, IdRangeEnforced) {
+  std::vector<Vec2> pts{{0, 0}};
+  EXPECT_THROW(Network(pts, {0}, Params::Default()), InvalidArgument);
+  Params p = Params::Default();
+  p.id_space = 4;
+  EXPECT_THROW(Network(pts, {5}, p), InvalidArgument);
+}
+
+TEST(NetworkTest, GainMatchesFormula) {
+  const Network net = LineNetwork(3, 0.5);
+  const Params& p = net.params();
+  // d(0,1) = 0.5 -> gain = P / 0.5^alpha.
+  EXPECT_NEAR(net.Gain(0, 1), p.power / std::pow(0.5, p.alpha), 1e-12);
+  EXPECT_NEAR(net.Gain(0, 2), p.power / std::pow(1.0, p.alpha), 1e-12);
+  EXPECT_DOUBLE_EQ(net.Gain(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(net.Gain(0, 2), net.Gain(2, 0));
+}
+
+TEST(NetworkTest, CommGraphUsesOneMinusEps) {
+  // pitch 0.5, eps 0.2 -> comm radius 0.8: neighbors at 0.5, not at 1.0.
+  const Network net = LineNetwork(4, 0.5);
+  const auto& g = net.CommGraph();
+  EXPECT_EQ(g[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(g[1], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(net.MaxDegree(), 2);
+}
+
+TEST(NetworkTest, HopDistancesAndDiameter) {
+  const Network net = LineNetwork(6, 0.5);
+  const auto d = net.HopDistances(0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(net.Diameter(), 5);
+  EXPECT_TRUE(net.Connected());
+}
+
+TEST(NetworkTest, DisconnectedDetected) {
+  std::vector<Vec2> pts{{0, 0}, {0.5, 0}, {10, 0}, {10.5, 0}};
+  const Network net = Network::WithSequentialIds(pts, Params::Default());
+  EXPECT_FALSE(net.Connected());
+  const auto d = net.HopDistances(0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(NetworkTest, DensityCountsUnitBall) {
+  const Network net = LineNetwork(9, 0.25);  // 4 neighbors each side within 1
+  EXPECT_EQ(net.Density(), 9);
+}
+
+}  // namespace
+}  // namespace dcc::sinr

@@ -1,0 +1,55 @@
+#include "dcc/sinr/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcc::sinr {
+namespace {
+
+TEST(ParamsTest, DefaultHasUnitRange) {
+  const Params p = Params::Default();
+  EXPECT_NEAR(p.TransmissionRange(), 1.0, 1e-12);
+  EXPECT_NEAR(p.CommRadius(), 1.0 - p.eps, 1e-12);
+}
+
+TEST(ParamsTest, RangeFormula) {
+  Params p = Params::Default();
+  p.power = 8.0 * p.noise * p.beta;  // range = 8^{1/alpha} = 2 at alpha = 3
+  EXPECT_NEAR(p.TransmissionRange(), 2.0, 1e-12);
+}
+
+TEST(ParamsTest, ValidationRejectsBadRanges) {
+  Params p = Params::Default();
+  p.alpha = 2.0;  // must be > 2
+  EXPECT_THROW(p.Validate(), InvalidArgument);
+
+  p = Params::Default();
+  p.beta = 1.0;  // must be > 1
+  EXPECT_THROW(p.Validate(), InvalidArgument);
+
+  p = Params::Default();
+  p.eps = 0.0;
+  EXPECT_THROW(p.Validate(), InvalidArgument);
+  p.eps = 1.0;
+  EXPECT_THROW(p.Validate(), InvalidArgument);
+
+  p = Params::Default();
+  p.noise = 0.0;
+  EXPECT_THROW(p.Validate(), InvalidArgument);
+
+  p = Params::Default();
+  p.id_space = 0;
+  EXPECT_THROW(p.Validate(), InvalidArgument);
+}
+
+TEST(ParamsTest, DefaultAcceptsCustomAlphaBetaEps) {
+  const Params p = Params::Default(4.0, 2.0, 0.3);
+  EXPECT_DOUBLE_EQ(p.alpha, 4.0);
+  EXPECT_DOUBLE_EQ(p.beta, 2.0);
+  EXPECT_DOUBLE_EQ(p.eps, 0.3);
+  EXPECT_NEAR(p.TransmissionRange(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dcc::sinr

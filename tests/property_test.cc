@@ -1,0 +1,199 @@
+// Cross-cutting property tests pinning the model-level facts the
+// algorithm proofs lean on:
+//  * the SINR "subset argument": removing interferers never breaks a
+//    reception (the basis for every schedule-replay delivery guarantee);
+//  * Lemma 1: dense areas contain close pairs;
+//  * Fact 1: network density and communication-graph degree are linearly
+//    related;
+//  * SNS coverage across SINR parameter choices (alpha, beta, eps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "dcc/bcast/smsb.h"
+#include "dcc/bcast/sns.h"
+#include "dcc/cluster/validate.h"
+#include "dcc/sinr/engine.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc {
+namespace {
+
+class SubsetArgumentTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetArgumentTest, RemovingInterferersPreservesReceptions) {
+  const int seed = GetParam();
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 10;
+  auto pts = workload::UniformSquare(48, 4.0, static_cast<std::uint64_t>(seed));
+  const auto net = workload::MakeNetwork(pts, params,
+                                         static_cast<std::uint64_t>(seed) + 1);
+  const sinr::Engine eng(net);
+  Xoshiro256ss rng(static_cast<std::uint64_t>(seed) * 7919);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random transmitter set.
+    std::vector<std::size_t> tx, listeners;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (rng.NextDouble() < 0.25) {
+        tx.push_back(i);
+      } else {
+        listeners.push_back(i);
+      }
+    }
+    if (tx.size() < 2) continue;
+    const auto before = eng.Step(tx, listeners);
+
+    // Remove a random non-sender transmitter and re-run.
+    std::vector<std::size_t> senders;
+    for (const auto& r : before) senders.push_back(r.sender);
+    std::vector<std::size_t> removable;
+    for (const std::size_t v : tx) {
+      if (std::find(senders.begin(), senders.end(), v) == senders.end()) {
+        removable.push_back(v);
+      }
+    }
+    if (removable.empty()) continue;
+    const std::size_t drop = removable[rng.NextBelow(removable.size())];
+    std::vector<std::size_t> tx2;
+    for (const std::size_t v : tx) {
+      if (v != drop) tx2.push_back(v);
+    }
+    auto listeners2 = listeners;
+    listeners2.push_back(drop);  // the dropped node may listen now
+    const auto after = eng.Step(tx2, listeners2);
+
+    // Every (listener, sender) pair from `before` must persist.
+    for (const auto& rb : before) {
+      bool found = false;
+      for (const auto& ra : after) {
+        if (ra.listener == rb.listener && ra.sender == rb.sender) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "reception " << rb.sender << "->" << rb.listener
+                         << " lost after removing interferer " << drop;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetArgumentTest, ::testing::Range(1, 6));
+
+TEST(Lemma1Test, DenseBallsContainClosePairs) {
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 12;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    auto pts = workload::UniformSquare(128, 4.0, seed);
+    const auto net = workload::MakeNetwork(pts, params, seed + 9);
+    std::vector<std::size_t> all(net.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    std::vector<ClusterId> one(net.size(), 1);
+    const int gamma = cluster::SubsetDensity(net, all);
+    const auto close = cluster::FindClosePairs(net, all, one, gamma, 1.0);
+
+    // For every dense node-centered unit ball, a close pair must exist
+    // within distance 5 of its center (Lemma 1.1).
+    for (std::size_t c = 0; c < net.size(); ++c) {
+      int in_ball = 0;
+      for (std::size_t u = 0; u < net.size(); ++u) {
+        if (net.Distance(c, u) <= 1.0) ++in_ball;
+      }
+      if (in_ball < (gamma + 1) / 2) continue;  // not dense
+      bool found = false;
+      for (const auto& [u, w] : close) {
+        if (net.Distance(c, u) <= 5.0 && net.Distance(c, w) <= 5.0) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "dense ball at node " << c << " (" << in_ball
+                         << " nodes) has no close pair within 5";
+    }
+  }
+}
+
+TEST(Fact1Test, DensityAndDegreeLinearlyRelated) {
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 12;
+  for (const int n : {64, 128, 256}) {
+    auto pts = workload::UniformSquare(n, 4.0, static_cast<std::uint64_t>(n));
+    const auto net = workload::MakeNetwork(pts, params,
+                                           static_cast<std::uint64_t>(n) + 3);
+    const double density = net.Density();
+    const double degree = net.MaxDegree() + 1;  // closed neighborhood
+    // Unit ball (radius 1) vs comm radius (1-eps): constants c1, c2 with
+    // c1*deg <= density <= c2*deg; generous band for random fields.
+    EXPECT_GE(density, 0.3 * degree) << "n=" << n;
+    EXPECT_LE(density, 4.0 * degree) << "n=" << n;
+  }
+}
+
+class SnsParamsSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(SnsParamsSweep, CoverageAcrossSinrParameters) {
+  const auto [alpha, beta, eps] = GetParam();
+  sinr::Params params = sinr::Params::Default(alpha, beta, eps);
+  params.id_space = 1 << 12;
+  auto pts = workload::Grid(5, 5, 1.15);
+  const auto net = workload::MakeNetwork(pts, params, 17);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+
+  sim::Exec ex(net);
+  std::vector<sim::Participant> parts;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    parts.push_back({i, net.id(i), kNoCluster});
+  }
+  std::vector<std::vector<std::size_t>> heard_by(net.size());
+  bcast::RunSns(
+      ex, prof, parts,
+      [&](std::size_t) {
+        sim::Message m;
+        m.kind = 1;
+        return std::optional<sim::Message>(m);
+      },
+      [&](std::size_t l, const sim::Message& m) {
+        heard_by[net.IndexOf(m.src)].push_back(l);
+      },
+      3);
+  const double comm = params.CommRadius();
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    for (std::size_t u = 0; u < net.size(); ++u) {
+      if (u == v || net.Distance(u, v) > comm) continue;
+      EXPECT_NE(std::find(heard_by[v].begin(), heard_by[v].end(), u),
+                heard_by[v].end())
+          << "alpha=" << alpha << " beta=" << beta << " eps=" << eps;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SnsParamsSweep,
+    ::testing::Values(std::tuple{3.0, 1.5, 0.2}, std::tuple{4.0, 1.5, 0.2},
+                      std::tuple{3.0, 2.5, 0.2}, std::tuple{3.0, 1.5, 0.35},
+                      std::tuple{5.0, 2.0, 0.25}));
+
+TEST(DeterminismTest, WholeStackIsSeedStable) {
+  // Two complete, independent executions of the most composite protocol
+  // must agree bit-for-bit on every outcome.
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 12;
+  auto pts = workload::BlobChain(4, 10, 0.3, 1.2, 11);
+  const auto net = workload::MakeNetwork(pts, params, 5);
+  if (!net.Connected()) GTEST_SKIP();
+  const auto prof = cluster::Profile::Practical(params.id_space);
+
+  sim::Exec ex1(net), ex2(net);
+  const auto a = bcast::SmsBroadcast(ex1, prof, {0}, net.Density(),
+                                     net.Diameter() + 3, 9);
+  const auto b = bcast::SmsBroadcast(ex2, prof, {0}, net.Density(),
+                                     net.Diameter() + 3, 9);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.awake_phase, b.awake_phase);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+}
+
+}  // namespace
+}  // namespace dcc

@@ -1,0 +1,116 @@
+// Lemma 12: RadiusReduction turns an r-clustering (r = O(1)) into a valid
+// 1-clustering: every node assigned, clusters inside unit balls around
+// centers, centers pairwise > 1 - eps apart.
+#include "dcc/cluster/radius_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dcc/cluster/validate.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::cluster {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 12;
+  return p;
+}
+
+std::vector<std::size_t> AllIndices(const sinr::Network& net) {
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+// A synthetic 2-clustering: grid of blobs, blob b assigned to the cluster
+// of its first node (blob radius <= 2).
+TEST(RadiusReductionTest, TwoClusteringBecomesValidOneClustering) {
+  const auto params = TestParams();
+  auto pts = workload::BlobChain(4, 20, 0.6, 2.2, 99);
+  const auto net = workload::MakeNetwork(pts, params, 7);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> cl(net.size(), kNoCluster);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    cl[i] = net.id((i / 20) * 20);
+  }
+  const auto all = AllIndices(net);
+  const int gamma = SubsetDensity(net, all);
+
+  sim::Exec ex(net);
+  const auto stats = RadiusReduction(ex, prof, all, cl, gamma, 1);
+  EXPECT_EQ(stats.unassigned, 0u);
+
+  const auto chk = CheckClustering(net, all, cl);
+  EXPECT_TRUE(chk.ValidRClustering(1.0, net.params().eps))
+      << "radius=" << chk.max_radius << " sep=" << chk.min_center_sep
+      << " assigned=" << chk.assigned << "/" << chk.members;
+  EXPECT_LE(chk.max_clusters_per_unit_ball, 30);  // O(1) contract
+}
+
+TEST(RadiusReductionTest, AlreadyTightClusteringStaysValid) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({0.05 * i, 0.0});
+  const auto net = workload::MakeNetwork(pts, params, 5);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> cl(net.size(), net.id(0));
+  const auto all = AllIndices(net);
+  sim::Exec ex(net);
+  RadiusReduction(ex, prof, all, cl, 10, 2);
+  const auto chk = CheckClustering(net, all, cl);
+  EXPECT_TRUE(chk.ValidRClustering(1.0, net.params().eps));
+}
+
+TEST(RadiusReductionTest, CentersComeFromTheInputSet) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(64, 3.5, 55);
+  const auto net = workload::MakeNetwork(pts, params, 3);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> cl(net.size(), net.id(0));
+  const auto all = AllIndices(net);
+  sim::Exec ex(net);
+  RadiusReduction(ex, prof, all, cl, SubsetDensity(net, all), 3);
+  for (const std::size_t idx : all) {
+    ASSERT_NE(cl[idx], kNoCluster);
+    EXPECT_TRUE(net.HasId(cl[idx]));
+  }
+}
+
+class RadiusReductionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RadiusReductionSweep, ValidAcrossBlobShapes) {
+  const auto [blobs, per_blob, seed] = GetParam();
+  const auto params = TestParams();
+  auto pts = workload::BlobChain(blobs, per_blob, 0.5, 2.0,
+                                 static_cast<std::uint64_t>(seed));
+  const auto net = workload::MakeNetwork(
+      pts, params, static_cast<std::uint64_t>(seed) + 13);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> cl(net.size(), kNoCluster);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    cl[i] = net.id((i / static_cast<std::size_t>(per_blob)) *
+                   static_cast<std::size_t>(per_blob));
+  }
+  const auto all = AllIndices(net);
+  sim::Exec ex(net);
+  const auto stats = RadiusReduction(ex, prof, all, cl,
+                                     SubsetDensity(net, all),
+                                     static_cast<std::uint64_t>(seed));
+  EXPECT_EQ(stats.unassigned, 0u);
+  const auto chk = CheckClustering(net, all, cl);
+  EXPECT_TRUE(chk.ValidRClustering(1.0, net.params().eps))
+      << "blobs=" << blobs << " per=" << per_blob << " seed=" << seed
+      << " radius=" << chk.max_radius << " sep=" << chk.min_center_sep;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RadiusReductionSweep,
+                         ::testing::Values(std::tuple{3, 12, 1},
+                                           std::tuple{5, 16, 2},
+                                           std::tuple{4, 24, 3}));
+
+}  // namespace
+}  // namespace dcc::cluster

@@ -1,0 +1,96 @@
+#include "dcc/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dcc {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+TEST(XoshiroTest, SameSeedSameStream) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256ss a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256ss rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(XoshiroTest, NextBelowRespectsBound) {
+  Xoshiro256ss rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit over 1000 draws
+}
+
+TEST(XoshiroTest, RoughlyUniform) {
+  Xoshiro256ss rng(2024);
+  std::vector<int> buckets(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.NextBelow(8)];
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, draws / 8, draws / 80);  // within 10%
+  }
+}
+
+TEST(StatelessHashTest, PureFunction) {
+  const StatelessHash h(99);
+  EXPECT_EQ(h(1, 2, 3, 4), h(1, 2, 3, 4));
+  EXPECT_NE(h(1, 2, 3, 4), h(1, 2, 3, 5));
+  EXPECT_NE(h(1, 2), h(2, 1));
+}
+
+TEST(StatelessHashTest, SeedMatters) {
+  const StatelessHash h1(1), h2(2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (h1(i, 0) == h2(i, 0)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(StatelessHashTest, CoinDensityMatchesDenominator) {
+  const StatelessHash h(7);
+  for (const std::uint64_t denom : {2ull, 8ull, 32ull}) {
+    int hits = 0;
+    const int trials = 64000;
+    for (int i = 0; i < trials; ++i) {
+      if (h.Coin(denom, static_cast<std::uint64_t>(i), 5)) ++hits;
+    }
+    const double expect = static_cast<double>(trials) / static_cast<double>(denom);
+    EXPECT_NEAR(hits, expect, expect * 0.15) << "denom=" << denom;
+  }
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace dcc

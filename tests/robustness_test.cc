@@ -1,0 +1,153 @@
+// Failure injection: always-on jammers (rogue transmitters the protocol
+// does not know about). The paper's algorithms assume all interference
+// comes from protocol participants; these tests map where that assumption
+// breaks and verify it degrades loudly, not silently.
+#include <gtest/gtest.h>
+
+#include "dcc/bcast/sns.h"
+#include "dcc/cluster/clustering.h"
+#include "dcc/cluster/validate.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 12;
+  return p;
+}
+
+TEST(JammerTest, BackgroundTransmitterJamsItsNeighborhood) {
+  const auto params = TestParams();
+  // sender(0) -> listener(1) at 0.5; jammer(2) sits next to the listener.
+  std::vector<Vec2> pts{{0, 0}, {0.5, 0}, {0.6, 0}};
+  const auto net = workload::MakeNetwork(pts, params, 1);
+  sim::Exec ex(net);
+
+  int heard = 0;
+  auto decide = [&](std::size_t i) -> std::optional<sim::Message> {
+    if (i != 0) return std::nullopt;
+    sim::Message m;
+    m.src = net.id(0);
+    return m;
+  };
+  // Count only the protocol sender's deliveries: the jammer's own message
+  // is also delivered (it is the strongest signal at the listener), which
+  // is exactly how a rogue beacon looks to a real radio.
+  auto hear = [&](std::size_t l, const sim::Message& m) {
+    if (l == 1 && m.src == net.id(0)) ++heard;
+  };
+
+  ex.RunRound({0, 1}, decide, hear);
+  EXPECT_EQ(heard, 1);  // clean channel
+
+  ex.SetBackgroundTransmitters({2}, sim::Message{});
+  ex.RunRound({0, 1}, decide, hear);
+  EXPECT_EQ(heard, 1);  // jammed: no new reception from the sender
+
+  ex.ClearBackgroundTransmitters();
+  ex.RunRound({0, 1}, decide, hear);
+  EXPECT_EQ(heard, 2);  // clean again
+}
+
+TEST(JammerTest, DistantJammerIsHarmless) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}, {0.5, 0}, {30.0, 0}};
+  const auto net = workload::MakeNetwork(pts, params, 2);
+  sim::Exec ex(net);
+  ex.SetBackgroundTransmitters({2}, sim::Message{});
+  int heard = 0;
+  ex.RunRound(
+      {0, 1},
+      [&](std::size_t i) -> std::optional<sim::Message> {
+        if (i != 0) return std::nullopt;
+        sim::Message m;
+        m.src = net.id(0);
+        return m;
+      },
+      [&](std::size_t l, const sim::Message&) {
+        if (l == 1) ++heard;
+      });
+  EXPECT_EQ(heard, 1);
+}
+
+TEST(JammerTest, SnsSurvivesFarJammers) {
+  const auto params = TestParams();
+  auto pts = workload::Grid(4, 4, 1.1);
+  // Jammers on a far ring.
+  const std::size_t n_field = pts.size();
+  for (const auto& jp : workload::Ring(4, 40.0)) pts.push_back(jp);
+  const auto net = workload::MakeNetwork(pts, params, 3);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+
+  sim::Exec ex(net);
+  std::vector<std::size_t> jammers;
+  for (std::size_t j = n_field; j < net.size(); ++j) jammers.push_back(j);
+  ex.SetBackgroundTransmitters(jammers, sim::Message{});
+
+  std::vector<sim::Participant> parts;
+  for (std::size_t i = 0; i < n_field; ++i) {
+    parts.push_back({i, net.id(i), kNoCluster});
+  }
+  std::vector<std::vector<std::size_t>> heard_by(net.size());
+  bcast::RunSns(
+      ex, prof, parts,
+      [&](std::size_t) {
+        sim::Message m;
+        m.kind = 1;
+        return std::optional<sim::Message>(m);
+      },
+      [&](std::size_t l, const sim::Message& m) {
+        heard_by[net.IndexOf(m.src)].push_back(l);
+      },
+      5);
+  const double comm = net.params().CommRadius();
+  for (std::size_t v = 0; v < n_field; ++v) {
+    for (std::size_t u = 0; u < n_field; ++u) {
+      if (u == v || net.Distance(u, v) > comm) continue;
+      EXPECT_NE(std::find(heard_by[v].begin(), heard_by[v].end(), u),
+                heard_by[v].end())
+          << u << " missed " << v;
+    }
+  }
+}
+
+TEST(JammerTest, ClusteringCompletesWithFarJammersFailsLoudlyWithNear) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(64, 4.0, 9);
+  const std::size_t n_field = pts.size();
+  pts.push_back({50.0, 50.0});  // far jammer
+  const auto net = workload::MakeNetwork(pts, params, 4);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  std::vector<std::size_t> members(n_field);
+  for (std::size_t i = 0; i < n_field; ++i) members[i] = i;
+
+  {
+    sim::Exec ex(net);
+    ex.SetBackgroundTransmitters({n_field}, sim::Message{});
+    const auto res = cluster::BuildClustering(ex, prof, members, 12, 1);
+    EXPECT_EQ(res.unassigned, 0u);
+    const auto chk = cluster::CheckClustering(net, members, res.cluster_of);
+    EXPECT_TRUE(chk.ValidRClustering(1.0, params.eps));
+  }
+
+  // A jammer inside the field: nodes near it can never receive, so the
+  // pipeline must *visibly* fail (unassigned nodes or invalid clustering),
+  // never silently produce a wrong answer.
+  auto pts2 = workload::UniformSquare(64, 4.0, 9);
+  pts2.push_back({2.0, 2.0});
+  const auto net2 = workload::MakeNetwork(pts2, params, 4);
+  {
+    sim::Exec ex(net2);
+    ex.SetBackgroundTransmitters({n_field}, sim::Message{});
+    const auto res = cluster::BuildClustering(ex, prof, members, 12, 1);
+    const auto chk = cluster::CheckClustering(net2, members, res.cluster_of);
+    EXPECT_TRUE(res.unassigned > 0 ||
+                !chk.ValidRClustering(1.0, params.eps))
+        << "in-field jammer went unnoticed";
+  }
+}
+
+}  // namespace
+}  // namespace dcc

@@ -1,0 +1,149 @@
+#include "dcc/sim/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace dcc::sim {
+namespace {
+
+sinr::Network LineNetwork(int n, double pitch) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) pts.push_back({i * pitch, 0.0});
+  return sinr::Network::WithSequentialIds(std::move(pts),
+                                          sinr::Params::Default());
+}
+
+TEST(ExecTest, RoundsAdvanceEvenWhenSilent) {
+  const auto net = LineNetwork(3, 0.5);
+  Exec ex(net);
+  ex.RunRound({0, 1, 2}, [](std::size_t) { return std::nullopt; },
+              [](std::size_t, const Message&) {});
+  EXPECT_EQ(ex.rounds(), 1);
+  ex.ChargeRounds(10);
+  EXPECT_EQ(ex.rounds(), 11);
+  EXPECT_THROW(ex.ChargeRounds(-1), InvalidArgument);
+}
+
+TEST(ExecTest, BackgroundTransmitterIndexValidated) {
+  const auto net = LineNetwork(2, 0.5);
+  Exec ex(net);
+  EXPECT_THROW(ex.SetBackgroundTransmitters({5}, Message{}), InvalidArgument);
+}
+
+TEST(ExecTest, SingleTransmitterDelivers) {
+  const auto net = LineNetwork(3, 0.5);
+  Exec ex(net);
+  int heard = 0;
+  const int tx_count = ex.RunRound(
+      {0},
+      [&](std::size_t) {
+        Message m;
+        m.src = net.id(0);
+        m.a = 77;
+        return std::optional<Message>(m);
+      },
+      [&](std::size_t listener, const Message& m) {
+        EXPECT_EQ(m.a, 77);
+        EXPECT_TRUE(listener == 1 || listener == 2);
+        ++heard;
+      });
+  EXPECT_EQ(tx_count, 1);
+  EXPECT_EQ(heard, 2);  // both within range 1
+}
+
+TEST(ExecTest, TransmitterDoesNotHearItself) {
+  const auto net = LineNetwork(2, 0.5);
+  Exec ex(net);
+  ex.RunRound(
+      {0, 1},
+      [&](std::size_t i) {
+        if (i != 0) return std::optional<Message>();
+        Message m;
+        m.src = net.id(0);
+        return std::optional<Message>(m);
+      },
+      [&](std::size_t listener, const Message&) { EXPECT_NE(listener, 0u); });
+}
+
+TEST(ExecTest, MessageRoutingMatchesSender) {
+  // Two far-apart transmitters: each nearby listener hears the right one.
+  std::vector<Vec2> pts{{0, 0}, {0.3, 0}, {10, 0}, {10.3, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, sinr::Params::Default());
+  Exec ex(net);
+  ex.RunRound(
+      {0, 2},
+      [&](std::size_t i) {
+        Message m;
+        m.src = net.id(i);
+        m.a = static_cast<std::int64_t>(i);
+        return std::optional<Message>(m);
+      },
+      [&](std::size_t listener, const Message& m) {
+        if (listener == 1) {
+          EXPECT_EQ(m.a, 0);
+        }
+        if (listener == 3) {
+          EXPECT_EQ(m.a, 2);
+        }
+      });
+}
+
+TEST(ExecTest, ObserverSeesRounds) {
+  const auto net = LineNetwork(3, 0.5);
+  Exec ex(net);
+  int calls = 0;
+  ex.SetObserver([&](Round, const std::vector<std::size_t>&,
+                     const std::vector<sinr::Reception>&) { ++calls; });
+  ex.RunRound({0}, [&](std::size_t) {
+    Message m;
+    return std::optional<Message>(m);
+  }, [](std::size_t, const Message&) {});
+  ex.RunRound({0}, [](std::size_t) { return std::nullopt; },
+              [](std::size_t, const Message&) {});
+  EXPECT_EQ(calls, 2);
+}
+
+// A tiny NodeProtocol: node 0 counts down then transmits once; others
+// finish when they hear it.
+class PingProtocol final : public NodeProtocol {
+ public:
+  PingProtocol(bool sender, NodeId id) : sender_(sender), id_(id) {}
+  std::optional<Message> OnRound(Round r) override {
+    if (sender_ && r == 3 && !sent_) {
+      sent_ = true;
+      done_ = true;
+      Message m;
+      m.src = id_;
+      return m;
+    }
+    return std::nullopt;
+  }
+  void OnHear(Round, const Message&) override { done_ = true; }
+  bool Done() const override { return done_; }
+
+ private:
+  bool sender_;
+  NodeId id_;
+  bool sent_ = false;
+  bool done_ = false;
+};
+
+TEST(RunnerTest, StopsWhenAllDone) {
+  const auto net = LineNetwork(3, 0.5);
+  Runner runner(net);
+  PingProtocol p0(true, net.id(0)), p1(false, net.id(1)), p2(false, net.id(2));
+  const Round r = runner.Run({&p0, &p1, &p2}, 100);
+  EXPECT_LE(r, 6);
+  EXPECT_TRUE(p1.Done());
+  EXPECT_TRUE(p2.Done());
+}
+
+TEST(RunnerTest, RespectsMaxRounds) {
+  const auto net = LineNetwork(2, 0.5);
+  Runner runner(net);
+  PingProtocol p0(false, net.id(0)), p1(false, net.id(1));  // never done
+  const Round r = runner.Run({&p0, &p1}, 25);
+  EXPECT_EQ(r, 25);
+}
+
+}  // namespace
+}  // namespace dcc::sim

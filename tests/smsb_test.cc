@@ -1,0 +1,173 @@
+// Theorem 3: SMSBroadcast wakes the whole (connected) network from the
+// source set, phase by phase, keeping each new cohort 1-clustered.
+#include "dcc/bcast/smsb.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "dcc/cluster/validate.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::bcast {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 12;
+  return p;
+}
+
+TEST(SmsbTest, SingleSourceReachesEveryone) {
+  const auto params = TestParams();
+  auto pts = workload::ConnectedUniform(80, 5.0, params, 3);
+  const auto net = workload::MakeNetwork(pts, params, 11);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = SmsBroadcast(ex, prof, {0}, net.Density(),
+                                net.Diameter() + 3, 1);
+  EXPECT_TRUE(res.all_awake) << res.awake << "/" << net.size();
+}
+
+TEST(SmsbTest, PhasesTrackHopDistance) {
+  // On a line with pitch 0.7, hop i is at distance i; nodes must wake in
+  // phase order consistent with BFS layers (allowing the paper's slack:
+  // awake-phase <= hop distance, since reception can jump up to 1).
+  const auto params = TestParams();
+  auto pts = workload::Line(20, 0.7, 2);
+  const auto net = workload::MakeNetwork(pts, params, 13);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res =
+      SmsBroadcast(ex, prof, {0}, net.Density(), net.Diameter() + 3, 2);
+  ASSERT_TRUE(res.all_awake);
+  const auto hops = net.HopDistances(0);
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    EXPECT_LE(res.awake_phase[i], hops[i] + 1) << "node " << i;
+    EXPECT_GE(res.awake_phase[i], 1) << "node " << i;
+  }
+}
+
+TEST(SmsbTest, CohortsAreValidOneClusterings) {
+  const auto params = TestParams();
+  auto pts = workload::BlobChain(5, 14, 0.4, 1.6, 7);
+  const auto net = workload::MakeNetwork(pts, params, 17);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res =
+      SmsBroadcast(ex, prof, {0}, net.Density(), net.Diameter() + 3, 3);
+  ASSERT_TRUE(res.all_awake);
+  // Validate the per-phase clusterings: group awake nodes by phase.
+  for (int ph = 2; ph <= res.phases; ++ph) {
+    std::vector<std::size_t> cohort;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (res.awake_phase[i] == ph) cohort.push_back(i);
+    }
+    if (cohort.size() < 2) continue;
+    const auto chk = cluster::CheckClustering(net, cohort, res.cluster_of);
+    EXPECT_EQ(chk.assigned, chk.members) << "phase " << ph;
+    EXPECT_LE(chk.max_radius, 1.0 + 1e-9) << "phase " << ph;
+  }
+}
+
+TEST(SmsbTest, ConditionBEveryNodeLocallyBroadcasts) {
+  // SMSB condition (b): every node transmits its message in some round
+  // received by all its communication-graph neighbors (cumulatively).
+  const auto params = TestParams();
+  auto pts = workload::Line(16, 0.7, 11);
+  const auto net = workload::MakeNetwork(pts, params, 31);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  const auto& comm = net.CommGraph();
+
+  sim::Exec ex(net);
+  std::vector<std::set<std::size_t>> covered(net.size());
+  ex.SetObserver([&](Round, const std::vector<std::size_t>&,
+                     const std::vector<sinr::Reception>& recs) {
+    for (const auto& r : recs) covered[r.sender].insert(r.listener);
+  });
+  const auto res =
+      SmsBroadcast(ex, prof, {0}, net.Density(), net.Diameter() + 3, 7);
+  ex.SetObserver(nullptr);
+  ASSERT_TRUE(res.all_awake);
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    for (const std::size_t w : comm[v]) {
+      EXPECT_TRUE(covered[v].count(w))
+          << "neighbor " << w << " never heard node " << v;
+    }
+  }
+}
+
+TEST(SmsbTest, MultipleSeparatedSources) {
+  const auto params = TestParams();
+  auto pts = workload::Line(30, 0.7, 5);
+  const auto net = workload::MakeNetwork(pts, params, 19);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  // Sources at both ends: > 1-eps apart.
+  sim::Exec ex(net);
+  const auto res = SmsBroadcast(ex, prof, {0, 29}, net.Density(),
+                                net.Diameter() + 3, 4);
+  EXPECT_TRUE(res.all_awake);
+  // Propagation from both ends halves the phase count vs a single source.
+  sim::Exec ex2(net);
+  const auto single =
+      SmsBroadcast(ex2, prof, {0}, net.Density(), net.Diameter() + 3, 4);
+  EXPECT_LT(res.phases, single.phases);
+}
+
+TEST(SmsbTest, CloseSourcesRejected) {
+  const auto params = TestParams();
+  auto pts = workload::Line(10, 0.3, 6);
+  const auto net = workload::MakeNetwork(pts, params, 23);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  EXPECT_THROW(SmsBroadcast(ex, prof, {0, 1}, 4, 10, 5), InvalidArgument);
+}
+
+TEST(SmsbTest, RoundsGrowLinearlyWithDiameter) {
+  const auto params = TestParams();
+  std::vector<Round> rounds;
+  for (const int n : {10, 20, 40}) {
+    auto pts = workload::Line(n, 0.7, 9);
+    const auto net = workload::MakeNetwork(pts, params, 29);
+    const auto prof = cluster::Profile::Practical(params.id_space);
+    sim::Exec ex(net);
+    const auto res =
+        SmsBroadcast(ex, prof, {0}, net.Density(), net.Diameter() + 3, 6);
+    EXPECT_TRUE(res.all_awake);
+    rounds.push_back(res.rounds);
+  }
+  // Doubling the line length should roughly double the rounds (within 3x).
+  EXPECT_GT(rounds[1], rounds[0]);
+  EXPECT_GT(rounds[2], rounds[1]);
+  EXPECT_LT(static_cast<double>(rounds[2]),
+            3.2 * static_cast<double>(rounds[1]));
+}
+
+class SmsbSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SmsbSweep, AllAwakeAcrossBlobChains) {
+  const auto [blobs, per_blob, seed] = GetParam();
+  const auto params = TestParams();
+  auto pts = workload::BlobChain(blobs, per_blob, 0.3, 1.2,
+                                 static_cast<std::uint64_t>(seed));
+  const auto net = workload::MakeNetwork(
+      pts, params, static_cast<std::uint64_t>(seed) + 3);
+  if (!net.Connected()) GTEST_SKIP() << "unlucky disconnected blob chain";
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = SmsBroadcast(ex, prof, {0}, net.Density(),
+                                net.Diameter() + 3,
+                                static_cast<std::uint64_t>(seed));
+  EXPECT_TRUE(res.all_awake)
+      << res.awake << "/" << net.size() << " blobs=" << blobs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SmsbSweep,
+                         ::testing::Values(std::tuple{4, 10, 1},
+                                           std::tuple{6, 12, 2},
+                                           std::tuple{8, 8, 3},
+                                           std::tuple{3, 24, 4}));
+
+}  // namespace
+}  // namespace dcc::bcast

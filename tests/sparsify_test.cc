@@ -1,0 +1,185 @@
+// Lemmas 8-9: Sparsification contracts.
+//  * clustered: the returned set keeps >= 1 node per nonempty cluster and
+//    reduces every dense cluster's size to <= (3/4) * Gamma.
+//  * unclustered (chained l times): density drops to <= (3/4) * Gamma.
+//  * every retired node has a same-cluster parent in the returned set,
+//    linked through a recorded exchange stage.
+#include "dcc/cluster/sparsify.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dcc/cluster/validate.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::cluster {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 12;
+  return p;
+}
+
+std::vector<std::size_t> AllIndices(const sinr::Network& net) {
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+TEST(SparsifyTest, ClusteredKeepsOnePerClusterAndShrinksDense) {
+  const auto params = TestParams();
+  // Three dense clumps, one cluster each.
+  std::vector<Vec2> pts;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 16; ++i) {
+      pts.push_back({c * 2.0 + 0.03 * i, 0.1 * (i % 4)});
+    }
+  }
+  const auto net = workload::MakeNetwork(pts, params, 31);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> cl(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    cl[i] = net.id((i / 16) * 16);  // first node of each clump
+  }
+  const int gamma = 16;
+
+  sim::Exec ex(net);
+  const auto r = Sparsify(ex, prof, AllIndices(net), cl, gamma,
+                          /*clustered=*/true, 1);
+
+  std::unordered_map<ClusterId, int> before, after;
+  for (std::size_t i = 0; i < net.size(); ++i) ++before[cl[i]];
+  for (const std::size_t idx : r.returned) ++after[cl[idx]];
+  for (const auto& [phi, cnt] : before) {
+    ASSERT_TRUE(after.count(phi)) << "cluster " << phi << " lost entirely";
+    EXPECT_GE(after[phi], 1);
+    EXPECT_LE(after[phi], (3 * gamma) / 4) << "cluster " << phi;
+  }
+}
+
+TEST(SparsifyTest, LinksPointIntoReturnedSetSameCluster) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(96, 4.0, 77);
+  const auto net = workload::MakeNetwork(pts, params, 7);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> one(net.size(), net.id(0));
+  const int gamma = SubsetDensity(net, AllIndices(net));
+
+  sim::Exec ex(net);
+  const auto r = Sparsify(ex, prof, AllIndices(net), one, gamma, true, 2);
+
+  std::unordered_set<NodeId> returned_ids;
+  for (const std::size_t idx : r.returned) returned_ids.insert(net.id(idx));
+  std::unordered_set<NodeId> retired_ids;
+  for (const std::size_t idx : AllIndices(net)) {
+    if (!returned_ids.count(net.id(idx))) retired_ids.insert(net.id(idx));
+  }
+  for (const NodeId child : retired_ids) {
+    const auto it = r.links.find(child);
+    // Children must be linked; parents were retired from Active but are in
+    // the returned set, so every missing id must have a link.
+    ASSERT_TRUE(it != r.links.end()) << "retired node " << child << " unlinked";
+    EXPECT_FALSE(retired_ids.count(it->second.parent))
+        << "parent of " << child << " also retired";
+    EXPECT_GE(it->second.stage, 0);
+    EXPECT_LT(it->second.stage, static_cast<int>(r.stages.size()));
+  }
+}
+
+TEST(SparsifyTest, ParentChildAreCloseGeometrically) {
+  // H-edges connect nodes within 1 (SINR reception range), so parent-child
+  // distance is bounded by 1.
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(96, 4.0, 13);
+  const auto net = workload::MakeNetwork(pts, params, 3);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> one(net.size(), net.id(0));
+  sim::Exec ex(net);
+  const auto r = Sparsify(ex, prof, AllIndices(net), one, 12, true, 3);
+  for (const auto& [child, link] : r.links) {
+    EXPECT_LE(net.Distance(net.IndexOf(child), net.IndexOf(link.parent)),
+              1.0 + 1e-9);
+  }
+}
+
+TEST(SparsifyUTest, DensityDropsByThreeQuarters) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(128, 4.0, 5);
+  const auto net = workload::MakeNetwork(pts, params, 11);
+  const auto prof = Profile::Practical(params.id_space);
+  const auto all = AllIndices(net);
+  const int gamma = SubsetDensity(net, all);
+  ASSERT_GE(gamma, 8) << "workload not dense enough to be interesting";
+
+  sim::Exec ex(net);
+  const auto chain = SparsifyU(ex, prof, all, gamma, 4);
+  ASSERT_EQ(chain.sets.size(), static_cast<std::size_t>(prof.l_uncl) + 1);
+  const int final_density = SubsetDensity(net, chain.sets.back());
+  EXPECT_LE(final_density, (3 * gamma) / 4)
+      << "density " << gamma << " -> " << final_density;
+  // Sets are nested.
+  for (std::size_t i = 0; i + 1 < chain.sets.size(); ++i) {
+    std::unordered_set<std::size_t> sup(chain.sets[i].begin(),
+                                        chain.sets[i].end());
+    for (const std::size_t idx : chain.sets[i + 1]) {
+      EXPECT_TRUE(sup.count(idx));
+    }
+  }
+}
+
+TEST(SparsifyTest, EmptyAndSingletonInputs) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(4, 4.0, 2);
+  const auto net = workload::MakeNetwork(pts, params, 1);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> one(net.size(), net.id(0));
+  sim::Exec ex(net);
+  const auto r0 = Sparsify(ex, prof, {}, one, 4, true, 5);
+  EXPECT_TRUE(r0.returned.empty());
+  const auto r1 = Sparsify(ex, prof, {0}, one, 4, true, 6);
+  EXPECT_EQ(r1.returned, (std::vector<std::size_t>{0}));
+}
+
+TEST(SparsifyTest, DeterministicAcrossRuns) {
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(64, 4.0, 9);
+  const auto net = workload::MakeNetwork(pts, params, 2);
+  const auto prof = Profile::Practical(params.id_space);
+  std::vector<ClusterId> one(net.size(), net.id(0));
+  sim::Exec ex1(net), ex2(net);
+  const auto a = Sparsify(ex1, prof, AllIndices(net), one, 10, true, 7);
+  const auto b = Sparsify(ex2, prof, AllIndices(net), one, 10, true, 7);
+  EXPECT_EQ(a.returned, b.returned);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+class SparsifyUSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(SparsifyUSweep, DensityContractAcrossWorkloads) {
+  const auto [n, side, seed] = GetParam();
+  const auto params = TestParams();
+  auto pts = workload::UniformSquare(n, side, static_cast<std::uint64_t>(seed));
+  const auto net = workload::MakeNetwork(
+      pts, params, static_cast<std::uint64_t>(seed) + 100);
+  const auto prof = Profile::Practical(params.id_space);
+  const auto all = AllIndices(net);
+  const int gamma = SubsetDensity(net, all);
+  sim::Exec ex(net);
+  const auto chain =
+      SparsifyU(ex, prof, all, gamma, static_cast<std::uint64_t>(seed));
+  EXPECT_LE(SubsetDensity(net, chain.sets.back()),
+            std::max(3, (3 * gamma) / 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparsifyUSweep,
+    ::testing::Values(std::tuple{96, 3.0, 1}, std::tuple{128, 4.0, 2},
+                      std::tuple{160, 5.0, 3}, std::tuple{96, 6.0, 4}));
+
+}  // namespace
+}  // namespace dcc::cluster

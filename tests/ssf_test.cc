@@ -1,0 +1,119 @@
+#include "dcc/sel/ssf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "dcc/sel/verify.h"
+
+namespace dcc::sel {
+namespace {
+
+TEST(SsfTest, MembershipMatchesResidues) {
+  const Ssf s = Ssf::Construct(100, 3);
+  for (std::int64_t i = 0; i < s.size(); i += 7) {
+    const auto [p, r] = s.SetParams(i);
+    for (std::int64_t x = 1; x <= 100; x += 13) {
+      EXPECT_EQ(s.Member(i, x), x % p == r);
+    }
+  }
+}
+
+TEST(SsfTest, RoundIndexOutOfRangeThrows) {
+  const Ssf s = Ssf::Construct(64, 2);
+  EXPECT_THROW(s.SetParams(-1), InvalidArgument);
+  EXPECT_THROW(s.SetParams(s.size()), InvalidArgument);
+}
+
+TEST(SsfTest, CoversAllResiduesOfAllPrimes) {
+  const Ssf s = Ssf::Construct(256, 4);
+  std::int64_t total = 0;
+  for (const std::int64_t p : s.primes()) total += p;
+  EXPECT_EQ(s.size(), total);
+}
+
+// The construction is provably an (N,k)-ssf; verify exhaustively for small
+// N to pin the implementation.
+TEST(SsfTest, ExhaustiveSelectionSmall) {
+  for (const int k : {1, 2, 3}) {
+    const Ssf s = Ssf::Construct(12, k);
+    const auto res = VerifySsfExhaustive(s);
+    EXPECT_TRUE(res.AllSatisfied())
+        << "k=" << k << " failures=" << res.failures << "/" << res.trials;
+  }
+}
+
+TEST(SsfTest, ExhaustiveSelectionMediumK) {
+  const Ssf s = Ssf::Construct(16, 5);
+  const auto res = VerifySsfExhaustive(s);
+  EXPECT_TRUE(res.AllSatisfied()) << res.failures << "/" << res.trials;
+}
+
+TEST(SsfTest, SizeGrowsRoughlyQuadraticallyInK) {
+  const std::int64_t N = 1 << 16;
+  const auto s4 = Ssf::Construct(N, 4);
+  const auto s8 = Ssf::Construct(N, 8);
+  const auto s16 = Ssf::Construct(N, 16);
+  // Doubling k should grow size at most ~6x (k^2 log-ish with slack).
+  EXPECT_GT(s8.size(), s4.size());
+  EXPECT_GT(s16.size(), s8.size());
+  EXPECT_LT(s16.size(), 8 * s8.size());
+}
+
+TEST(SsfTest, PrimesExceedWitnessThreshold) {
+  // Count primes needed by the construction's guarantee: strictly more
+  // than (k-1)*ceil(log_T N) primes in (T, 2T].
+  const std::int64_t N = 1024;
+  const int k = 6;
+  const Ssf s = Ssf::Construct(N, k);
+  ASSERT_FALSE(s.primes().empty());
+  const std::int64_t T = s.primes().front() - 1;
+  const double logT = std::log(static_cast<double>(T));
+  const double needed =
+      (k - 1) * std::ceil(std::log(static_cast<double>(N)) / logT);
+  EXPECT_GT(static_cast<double>(s.primes().size()), needed);
+}
+
+// Property sweep: selection holds on sampled instances for larger N.
+class SsfSampledTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SsfSampledTest, SampledSelection) {
+  const auto [logN, k] = GetParam();
+  const std::int64_t N = 1ll << logN;
+  const Ssf s = Ssf::Construct(N, k);
+  // Sample random k-subsets and check each element gets selected.
+  Xoshiro256ss rng(static_cast<std::uint64_t>(logN * 131 + k));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::int64_t> X;
+    while (static_cast<int>(X.size()) < k) {
+      const std::int64_t v =
+          static_cast<std::int64_t>(rng.NextBelow(static_cast<std::uint64_t>(N))) + 1;
+      if (std::find(X.begin(), X.end(), v) == X.end()) X.push_back(v);
+    }
+    for (const std::int64_t x : X) {
+      bool selected = false;
+      for (std::int64_t i = 0; i < s.size() && !selected; ++i) {
+        if (!s.Member(i, x)) continue;
+        bool alone = true;
+        for (const std::int64_t y : X) {
+          if (y != x && s.Member(i, y)) {
+            alone = false;
+            break;
+          }
+        }
+        selected = alone;
+      }
+      EXPECT_TRUE(selected) << "N=" << N << " k=" << k << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SsfSampledTest,
+                         ::testing::Values(std::tuple{10, 4}, std::tuple{12, 6},
+                                           std::tuple{14, 8},
+                                           std::tuple{16, 12}));
+
+}  // namespace
+}  // namespace dcc::sel

@@ -1,0 +1,47 @@
+#include "dcc/stats/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dcc::stats {
+namespace {
+
+TEST(RecorderTest, AddAccumulatesSetOverwrites) {
+  Recorder r;
+  r.Add("rounds", 10);
+  r.Add("rounds", 5);
+  EXPECT_DOUBLE_EQ(r.Get("rounds"), 15.0);
+  r.Set("rounds", 3);
+  EXPECT_DOUBLE_EQ(r.Get("rounds"), 3.0);
+}
+
+TEST(RecorderTest, MissingKeyIsZero) {
+  Recorder r;
+  EXPECT_DOUBLE_EQ(r.Get("absent"), 0.0);
+  EXPECT_FALSE(r.Has("absent"));
+  r.Add("present", 0.0);
+  EXPECT_TRUE(r.Has("present"));
+}
+
+TEST(RecorderTest, InsertionOrderPreserved) {
+  Recorder r;
+  r.Add("b", 1);
+  r.Add("a", 2);
+  r.Add("b", 1);
+  ASSERT_EQ(r.entries().size(), 2u);
+  EXPECT_EQ(r.entries()[0].first, "b");
+  EXPECT_EQ(r.entries()[1].first, "a");
+}
+
+TEST(RecorderTest, PrintFormatsAllEntries) {
+  Recorder r;
+  r.Add("x", 1.5);
+  r.Add("y", 2);
+  std::ostringstream os;
+  r.Print(os, 2);
+  EXPECT_EQ(os.str(), "  x = 1.5\n  y = 2\n");
+}
+
+}  // namespace
+}  // namespace dcc::stats

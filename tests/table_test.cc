@@ -1,0 +1,55 @@
+#include "dcc/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dcc/common/types.h"
+
+namespace dcc {
+namespace {
+
+TEST(TableTest, AlignedOutput) {
+  Table t({"name", "rounds"});
+  t.AddRow({"alg", "123"});
+  t.AddRow({"longer-name", "7"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // All rows same line count: header + underline + 2 rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CellCountMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), InvalidArgument);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(std::int64_t{42}), "42");
+  EXPECT_EQ(Table::Num(3.5), "3.5");
+  EXPECT_EQ(Table::Num(0.125), "0.125");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace dcc

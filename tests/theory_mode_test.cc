@@ -1,0 +1,76 @@
+// Theory-mode paths: the Linial-MIS sparsifier branch and the Theory()
+// profile constants. The literal theory profile is unrunnable by design
+// (kappa in the billions — exhibited by bench_selectors); here we run the
+// theory *structure* (Linial pipeline, no early stopping in MIS) with
+// practically-sized constants to verify the code path end to end.
+#include <gtest/gtest.h>
+
+#include "dcc/cluster/sparsify.h"
+#include "dcc/cluster/validate.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::cluster {
+namespace {
+
+TEST(TheoryModeTest, TheoryProfileExhibitsProofConstants) {
+  const auto params = sinr::Params::Default();
+  const auto t = Profile::Theory(params, 1 << 16);
+  const auto p = Profile::Practical(1 << 16);
+  // Proof constants dominate the calibrated ones by orders of magnitude.
+  EXPECT_GT(t.kappa, 1000 * p.kappa);
+  EXPECT_GT(t.rho, p.rho);
+  EXPECT_GT(t.sns_k, 100 * p.sns_k);
+  EXPECT_GT(t.l_uncl, p.l_uncl);
+  EXPECT_GT(t.rr_iters, p.rr_iters);
+  EXPECT_TRUE(t.use_linial_mis);
+  EXPECT_FALSE(t.early_stop);
+}
+
+TEST(TheoryModeTest, LinialMisSparsifierBranch) {
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 256;  // small id space keeps the color sweep short
+  auto pts = workload::UniformSquare(24, 2.0, 5);
+  const auto net = workload::MakeNetwork(pts, params, 3);
+
+  Profile prof = Profile::Practical(params.id_space);
+  prof.use_linial_mis = true;  // theory structure, practical constants
+  const std::vector<ClusterId> none(net.size(), kNoCluster);
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const int gamma = SubsetDensity(net, all);
+
+  sim::Exec ex(net);
+  const auto r = Sparsify(ex, prof, all, none, gamma, /*clustered=*/false, 1);
+  // The contract is the same as the fast path's: progress plus valid links.
+  EXPECT_LT(r.returned.size(), all.size());
+  for (const auto& [child, link] : r.links) {
+    EXPECT_LE(net.Distance(net.IndexOf(child), net.IndexOf(link.parent)),
+              1.0 + 1e-9);
+  }
+  // And it costs more rounds than the capped fast path (the color sweep).
+  const Profile fast = Profile::Practical(params.id_space);
+  sim::Exec ex2(net);
+  const auto rf = Sparsify(ex2, fast, all, none, gamma, false, 1);
+  EXPECT_GT(r.rounds, rf.rounds);
+}
+
+TEST(TheoryModeTest, LinialBranchDensityContractHolds) {
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 256;
+  auto pts = workload::UniformSquare(32, 2.0, 9);
+  const auto net = workload::MakeNetwork(pts, params, 7);
+  Profile prof = Profile::Practical(params.id_space);
+  prof.use_linial_mis = true;
+  const std::vector<ClusterId> none(net.size(), kNoCluster);
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const int gamma = SubsetDensity(net, all);
+
+  sim::Exec ex(net);
+  const auto chain = SparsifyU(ex, prof, all, gamma, 4);
+  EXPECT_LE(SubsetDensity(net, chain.sets.back()),
+            std::max(3, (3 * gamma) / 4));
+}
+
+}  // namespace
+}  // namespace dcc::cluster

@@ -1,0 +1,113 @@
+// Hard-topology sweeps for the full pipeline: corridors with pinch points,
+// two-scale density contrast, and star networks — shapes where clustering
+// and broadcast historically break (boundary effects, extreme Gamma
+// contrast, high-degree hubs).
+#include <gtest/gtest.h>
+
+#include "dcc/bcast/smsb.h"
+#include "dcc/cluster/clustering.h"
+#include "dcc/cluster/validate.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 12;
+  return p;
+}
+
+std::vector<std::size_t> AllIndices(const sinr::Network& net) {
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+void ExpectValidClustering(const sinr::Network& net, const std::string& tag) {
+  const auto prof = cluster::Profile::Practical(net.params().id_space);
+  const auto all = AllIndices(net);
+  sim::Exec ex(net);
+  const auto res = cluster::BuildClustering(
+      ex, prof, all, cluster::SubsetDensity(net, all), 1);
+  EXPECT_EQ(res.unassigned, 0u) << tag;
+  const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
+  EXPECT_TRUE(chk.ValidRClustering(1.0, net.params().eps))
+      << tag << ": radius=" << chk.max_radius
+      << " sep=" << chk.min_center_sep;
+}
+
+TEST(TopologyTest, CorridorClusteringValid) {
+  const auto params = TestParams();
+  auto pts = workload::Corridor(120, 12.0, 2.0, 3, 1.2, 7);
+  const auto net = workload::MakeNetwork(pts, params, 3);
+  ExpectValidClustering(net, "corridor");
+}
+
+TEST(TopologyTest, CorridorBroadcastThroughPinchPoints) {
+  const auto params = TestParams();
+  auto pts = workload::Corridor(140, 12.0, 2.0, 3, 1.2, 2);
+  const auto net = workload::MakeNetwork(pts, params, 5);
+  if (!net.Connected()) GTEST_SKIP() << "holes disconnected the corridor";
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = bcast::SmsBroadcast(ex, prof, {0}, net.Density(),
+                                       net.Diameter() + 3, 2);
+  EXPECT_TRUE(res.all_awake) << res.awake << "/" << net.size();
+}
+
+TEST(TopologyTest, TwoScaleClusteringValid) {
+  const auto params = TestParams();
+  // Sparse backdrop + two hotspots: Gamma contrast ~1 vs ~30.
+  auto pts = workload::TwoScale(48, 8.0, 2, 30, 0.25, 11);
+  const auto net = workload::MakeNetwork(pts, params, 7);
+  ExpectValidClustering(net, "two-scale");
+}
+
+TEST(TopologyTest, TwoScaleHotspotsGetMultipleClusters) {
+  const auto params = TestParams();
+  auto pts = workload::TwoScale(30, 6.0, 1, 40, 0.5, 13);
+  const auto net = workload::MakeNetwork(pts, params, 9);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  const auto all = AllIndices(net);
+  sim::Exec ex(net);
+  const auto res = cluster::BuildClustering(
+      ex, prof, all, cluster::SubsetDensity(net, all), 3);
+  ASSERT_EQ(res.unassigned, 0u);
+  // A sigma=0.5 hotspot spans ~2 units: it cannot be one unit-ball
+  // cluster, and the O(1)-clusters-per-ball bound still must hold.
+  const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
+  EXPECT_GE(chk.num_clusters, 2);
+  EXPECT_LE(chk.max_clusters_per_unit_ball,
+            ChiUpperBound(2.0, 1.0 - params.eps));
+}
+
+TEST(TopologyTest, StarClusteringValid) {
+  const auto params = TestParams();
+  auto pts = workload::Star(6, 8, 0.45);
+  const auto net = workload::MakeNetwork(pts, params, 15);
+  ExpectValidClustering(net, "star");
+}
+
+TEST(TopologyTest, StarBroadcastFromArmTip) {
+  const auto params = TestParams();
+  auto pts = workload::Star(5, 10, 0.6);
+  const auto net = workload::MakeNetwork(pts, params, 17);
+  ASSERT_TRUE(net.Connected());
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  // Source at the end of one arm: the wave must pass through the hub.
+  sim::Exec ex(net);
+  const auto res = bcast::SmsBroadcast(ex, prof, {10}, net.Density(),
+                                       net.Diameter() + 3, 4);
+  EXPECT_TRUE(res.all_awake) << res.awake << "/" << net.size();
+}
+
+TEST(TopologyTest, RingClusteringValid) {
+  const auto params = TestParams();
+  auto pts = workload::Ring(48, 5.0);
+  const auto net = workload::MakeNetwork(pts, params, 19);
+  ExpectValidClustering(net, "ring");
+}
+
+}  // namespace
+}  // namespace dcc

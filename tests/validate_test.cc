@@ -1,0 +1,146 @@
+// The validators themselves: they are the oracles for everything else, so
+// pin their behavior on hand-built configurations.
+#include "dcc/cluster/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "dcc/workload/generators.h"
+
+namespace dcc::cluster {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 10;
+  return p;
+}
+
+TEST(CheckClusteringTest, PerfectTwoClusterLayout) {
+  const auto params = TestParams();
+  // Cluster A around node 0 at origin; cluster B around node 3 at (2, 0).
+  std::vector<Vec2> pts{{0, 0}, {0.3, 0}, {0, 0.4}, {2, 0}, {2.3, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> cl{1, 1, 1, 4, 4};
+  std::vector<std::size_t> all{0, 1, 2, 3, 4};
+  const auto chk = CheckClustering(net, all, cl);
+  EXPECT_EQ(chk.assigned, 5u);
+  EXPECT_EQ(chk.num_clusters, 2);
+  EXPECT_NEAR(chk.max_radius, 0.4, 1e-9);
+  EXPECT_NEAR(chk.min_center_sep, 2.0, 1e-9);
+  EXPECT_TRUE(chk.ValidRClustering(1.0, params.eps));
+  EXPECT_EQ(chk.max_cluster_size, 3);
+}
+
+TEST(CheckClusteringTest, DetectsUnassignedAndFatRadius) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}, {1.7, 0}, {5, 5}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> cl{1, 1, kNoCluster};
+  std::vector<std::size_t> all{0, 1, 2};
+  const auto chk = CheckClustering(net, all, cl);
+  EXPECT_EQ(chk.assigned, 2u);
+  EXPECT_FALSE(chk.ValidRClustering(1.0, params.eps));  // radius 1.7 & hole
+  EXPECT_NEAR(chk.max_radius, 1.7, 1e-9);
+}
+
+TEST(CheckClusteringTest, DetectsCloseCenters) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}, {0.3, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> cl{1, 2};  // two centers 0.3 < 1-eps apart
+  std::vector<std::size_t> all{0, 1};
+  const auto chk = CheckClustering(net, all, cl);
+  EXPECT_FALSE(chk.ValidRClustering(1.0, params.eps));
+  EXPECT_NEAR(chk.min_center_sep, 0.3, 1e-9);
+}
+
+TEST(CheckClusteringTest, MissingCenterFlagged) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> cl{99};  // no node with id 99
+  const auto chk = CheckClustering(net, {0}, cl);
+  EXPECT_FALSE(chk.centers_exist);
+}
+
+TEST(FindClosePairsTest, MutuallyNearestPairFound) {
+  const auto params = TestParams();
+  // A tight pair far from a third node: exactly one close pair.
+  std::vector<Vec2> pts{{0, 0}, {0.05, 0}, {0.9, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> one(3, 1);
+  const auto pairs = FindClosePairs(net, {0, 1, 2}, one, 6, 1.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 0u);
+  EXPECT_EQ(pairs[0].second, 1u);
+}
+
+TEST(FindClosePairsTest, CrossClusterPairsExcluded) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}, {0.05, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> cl{1, 2};
+  const auto pairs = FindClosePairs(net, {0, 1}, cl, 6, 1.0);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(FindClosePairsTest, TooDistantPairExcluded) {
+  const auto params = TestParams();
+  // Distance above d_{Gamma,r} for a dense enough Gamma (but still within
+  // the 1 - eps cap of condition (b)).
+  std::vector<Vec2> pts{{0, 0}, {0.7, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> one(2, 1);
+  const auto far = FindClosePairs(net, {0, 1}, one, 64, 1.0);
+  EXPECT_TRUE(far.empty());  // d_bound(64) = 2/(sqrt 32 - 1) ~ 0.43 < 0.7
+  const auto near = FindClosePairs(net, {0, 1}, one, 4, 1.0);
+  EXPECT_EQ(near.size(), 1u);  // small Gamma: bound is the diameter
+}
+
+TEST(FindClosePairsTest, CrowdedNeighborhoodViolatesSpacing) {
+  const auto params = TestParams();
+  // u,w at distance 0.2 but a third node 0.05 from u: condition (c) fails
+  // for (u,w) — u's nearest is the third node.
+  std::vector<Vec2> pts{{0, 0}, {0.2, 0}, {0.05, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> one(3, 1);
+  const auto pairs = FindClosePairs(net, {0, 1, 2}, one, 8, 1.0);
+  for (const auto& [u, w] : pairs) {
+    EXPECT_FALSE(u == 0 && w == 1);
+  }
+}
+
+TEST(SubsetDensityTest, CountsOnlySubset) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}, {0.1, 0}, {0.2, 0}, {10, 10}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  EXPECT_EQ(SubsetDensity(net, {0, 1, 2, 3}), 3);
+  EXPECT_EQ(SubsetDensity(net, {0, 3}), 1);
+}
+
+TEST(MaxClusterSizeTest, Counts) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}, {0.1, 0}, {0.2, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> cl{1, 1, 2};
+  EXPECT_EQ(MaxClusterSize(net, {0, 1, 2}, cl), 2);
+}
+
+TEST(CheckLabelingTest, MultiplicityAndCoverage) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}, {0.1, 0}, {0.2, 0}};
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  std::vector<ClusterId> cl{1, 1, 1};
+  std::unordered_map<NodeId, int> labels{{1, 1}, {2, 1}, {3, 2}};
+  const auto chk = CheckLabeling(net, {0, 1, 2}, cl, labels);
+  EXPECT_TRUE(chk.all_labeled);
+  EXPECT_EQ(chk.max_label, 2);
+  EXPECT_EQ(chk.max_multiplicity, 2);
+
+  labels.erase(3);
+  const auto chk2 = CheckLabeling(net, {0, 1, 2}, cl, labels);
+  EXPECT_FALSE(chk2.all_labeled);
+}
+
+}  // namespace
+}  // namespace dcc::cluster

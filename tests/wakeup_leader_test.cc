@@ -1,0 +1,113 @@
+// Theorems 4-5: wake-up and leader election on top of Clustering + SMSB.
+#include <gtest/gtest.h>
+
+#include "dcc/bcast/leader_election.h"
+#include "dcc/bcast/wakeup.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::bcast {
+namespace {
+
+sinr::Params TestParams() {
+  sinr::Params p = sinr::Params::Default();
+  p.id_space = 1 << 12;
+  return p;
+}
+
+std::vector<std::size_t> AllIndices(const sinr::Network& net) {
+  std::vector<std::size_t> all(net.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+TEST(WakeupTest, SingleSpontaneousNodeWakesNetwork) {
+  const auto params = TestParams();
+  auto pts = workload::ConnectedUniform(60, 4.5, params, 7);
+  const auto net = workload::MakeNetwork(pts, params, 3);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = RunWakeup(ex, prof, {{5, 0}}, net.Density(),
+                             net.Diameter() + 3, 1);
+  EXPECT_TRUE(res.all_awake);
+  EXPECT_EQ(res.awake_at[5], 0);
+}
+
+TEST(WakeupTest, MultipleSpontaneousWakersAnyPattern) {
+  const auto params = TestParams();
+  auto pts = workload::Line(24, 0.7, 3);
+  const auto net = workload::MakeNetwork(pts, params, 5);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = RunWakeup(ex, prof, {{0, 0}, {23, 0}, {12, 0}},
+                             net.Density(), net.Diameter() + 3, 2);
+  EXPECT_TRUE(res.all_awake);
+}
+
+TEST(WakeupTest, RequiresAtLeastOneSpontaneous) {
+  const auto params = TestParams();
+  auto pts = workload::Line(5, 0.7, 4);
+  const auto net = workload::MakeNetwork(pts, params, 7);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  EXPECT_THROW(RunWakeup(ex, prof, {}, 4, 8, 3), InvalidArgument);
+}
+
+
+TEST(WakeupTest, StaggeredSpontaneousWakeups) {
+  // Spontaneous activations spread over time: the epoch scheme must still
+  // wake everyone (later wakers either get woken by the broadcast or join
+  // a later epoch as sources).
+  const auto params = TestParams();
+  auto pts = workload::Line(20, 0.7, 7);
+  const auto net = workload::MakeNetwork(pts, params, 9);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = RunWakeup(ex, prof, {{3, 0}, {15, 5000}, {19, 90000}},
+                             net.Density(), net.Diameter() + 3, 4);
+  EXPECT_TRUE(res.all_awake);
+  // The round-0 waker is recorded first.
+  EXPECT_EQ(res.awake_at[3], 0);
+}
+
+TEST(LeaderElectionTest, ElectsMinimumCenterConsistently) {
+  const auto params = TestParams();
+  auto pts = workload::ConnectedUniform(60, 4.5, params, 11);
+  const auto net = workload::MakeNetwork(pts, params, 13);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = ElectLeader(ex, prof, AllIndices(net), net.Density(),
+                               net.Diameter() + 3, 1);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_NE(res.leader, kNoNode);
+  EXPECT_TRUE(net.HasId(res.leader));
+  // Binary search over [1, N]: exactly ceil(log2 N) probes.
+  EXPECT_EQ(res.probes, 12);  // id_space = 2^12
+}
+
+TEST(LeaderElectionTest, SingletonNetwork) {
+  const auto params = TestParams();
+  std::vector<Vec2> pts{{0, 0}};
+  const auto net = workload::MakeNetwork(pts, params, 17);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex(net);
+  const auto res = ElectLeader(ex, prof, {0}, 1, 2, 2);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_EQ(res.leader, net.id(0));
+}
+
+TEST(LeaderElectionTest, DeterministicLeader) {
+  const auto params = TestParams();
+  auto pts = workload::ConnectedUniform(40, 3.5, params, 19);
+  const auto net = workload::MakeNetwork(pts, params, 23);
+  const auto prof = cluster::Profile::Practical(params.id_space);
+  sim::Exec ex1(net), ex2(net);
+  const auto a = ElectLeader(ex1, prof, AllIndices(net), net.Density(),
+                             net.Diameter() + 3, 3);
+  const auto b = ElectLeader(ex2, prof, AllIndices(net), net.Density(),
+                             net.Diameter() + 3, 3);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace dcc::bcast

@@ -1,0 +1,102 @@
+#include "dcc/sel/wcss.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dcc/sel/verify.h"
+
+namespace dcc::sel {
+namespace {
+
+TEST(WcssTest, DeterministicInSeed) {
+  const Wcss a = Wcss::WithLength(1000, 4, 3, 800, 42);
+  const Wcss b = Wcss::WithLength(1000, 4, 3, 800, 42);
+  for (std::int64_t i = 0; i < 800; i += 13) {
+    for (std::int64_t x = 1; x <= 1000; x += 101) {
+      EXPECT_EQ(a.Member(i, x, 7), b.Member(i, x, 7));
+      EXPECT_EQ(a.ClusterAllowed(i, x), b.ClusterAllowed(i, x));
+    }
+  }
+}
+
+TEST(WcssTest, MemberImpliesClusterAllowed) {
+  const Wcss w = Wcss::WithLength(1 << 12, 4, 3, 1000, 5);
+  for (std::int64_t i = 0; i < w.size(); i += 7) {
+    for (std::int64_t x = 1; x <= 40; ++x) {
+      if (w.Member(i, x, x + 100)) {
+        EXPECT_TRUE(w.ClusterAllowed(i, x + 100));
+      }
+    }
+  }
+}
+
+TEST(WcssTest, ClusterGateDensityNearOneOverL) {
+  const int l = 4;
+  const Wcss w = Wcss::WithLength(1 << 12, 4, l, 4000, 5);
+  std::int64_t hits = 0, total = 0;
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    for (ClusterId phi = 1; phi <= 16; ++phi) {
+      hits += w.ClusterAllowed(i, phi) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / static_cast<double>(total), 1.0 / l,
+              0.02);
+}
+
+TEST(WcssTest, PairDensityNearProductOfCoins) {
+  const int k = 5, l = 3;
+  const Wcss w = Wcss::WithLength(1 << 12, k, l, 6000, 9);
+  std::int64_t hits = 0, total = 0;
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    for (std::int64_t x = 1; x <= 8; ++x) {
+      hits += w.Member(i, x, 300 + x) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / static_cast<double>(total),
+              1.0 / (k * l), 0.01);
+}
+
+TEST(WcssTest, PropertyHoldsAtTheoryLength) {
+  // Lemma 3's O(.) hides the union-bound constant: per-round success
+  // probability is (1/l)(1-1/l)^l (1/k)(1-1/k)^{k-1} (1/k), so at small
+  // (k,l) the multiplier c must cover the e^2-ish slack. c=3 suffices.
+  const Wcss w = Wcss::Construct(256, 2, 2, 3.0, 77);
+  const auto res = VerifyWcssSampled(w, 200, 31337);
+  EXPECT_TRUE(res.AllSatisfied())
+      << res.failures << "/" << res.trials << " size=" << w.size();
+}
+
+TEST(WcssTest, TooShortFailsOften) {
+  const Wcss w = Wcss::WithLength(256, 2, 2, 30, 77);
+  const auto res = VerifyWcssSampled(w, 200, 31337);
+  EXPECT_GT(res.failures, 0);
+}
+
+TEST(WcssTest, TheoryLengthFormula) {
+  const Wcss w = Wcss::Construct(1 << 16, 4, 3, 1.0, 1);
+  // (k+l)*l*k^2*lnN = 7*3*16*11.09 ~ 3726
+  EXPECT_GT(w.size(), 3500);
+  EXPECT_LT(w.size(), 3950);
+}
+
+class WcssSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WcssSweepTest, LowFailureRateAcrossShapes) {
+  const auto [logN, k, l] = GetParam();
+  const Wcss w = Wcss::Construct(1ll << logN, k, l, 3.0, 4321);
+  const auto res = VerifyWcssSampled(w, 120, 999);
+  EXPECT_LE(res.FailureRate(), 0.03)
+      << "logN=" << logN << " k=" << k << " l=" << l << " size=" << w.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WcssSweepTest,
+    ::testing::Values(std::tuple{10, 2, 2}, std::tuple{12, 3, 2},
+                      std::tuple{12, 2, 4}, std::tuple{14, 3, 3}));
+
+}  // namespace
+}  // namespace dcc::sel

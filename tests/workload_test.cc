@@ -1,0 +1,142 @@
+#include "dcc/workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dcc::workload {
+namespace {
+
+TEST(UniformSquareTest, BoundsAndDeterminism) {
+  const auto a = UniformSquare(100, 5.0, 42);
+  const auto b = UniformSquare(100, 5.0, 42);
+  EXPECT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_GE(a[i].x, 0.0);
+    EXPECT_LE(a[i].x, 5.0);
+    EXPECT_GE(a[i].y, 0.0);
+    EXPECT_LE(a[i].y, 5.0);
+  }
+  const auto c = UniformSquare(100, 5.0, 43);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(BlobChainTest, BlobsCenteredOnLine) {
+  const auto pts = BlobChain(3, 50, 0.3, 5.0, 7);
+  ASSERT_EQ(pts.size(), 150u);
+  for (int b = 0; b < 3; ++b) {
+    double cx = 0;
+    for (int i = 0; i < 50; ++i) {
+      cx += pts[static_cast<std::size_t>(b * 50 + i)].x;
+    }
+    cx /= 50;
+    EXPECT_NEAR(cx, 5.0 * b, 0.3);
+  }
+}
+
+TEST(GridTest, ExactPositions) {
+  const auto pts = Grid(2, 3, 1.5);
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0], (Vec2{0, 0}));
+  EXPECT_EQ(pts[5], (Vec2{3.0, 1.5}));
+}
+
+TEST(LineTest, PitchRespected) {
+  const auto pts = Line(10, 0.7, 3);
+  for (int i = 0; i + 1 < 10; ++i) {
+    EXPECT_NEAR(pts[static_cast<std::size_t>(i + 1)].x -
+                    pts[static_cast<std::size_t>(i)].x,
+                0.7, 1e-9);
+  }
+}
+
+TEST(RingTest, AllOnCircle) {
+  const auto pts = Ring(12, 3.0);
+  for (const auto& p : pts) {
+    EXPECT_NEAR(Dist(p, {0, 0}), 3.0, 1e-9);
+  }
+}
+
+TEST(ConnectedUniformTest, ProducesConnectedNetwork) {
+  const auto params = sinr::Params::Default();
+  const auto pts = ConnectedUniform(50, 4.0, params, 11);
+  const auto net = sinr::Network::WithSequentialIds(pts, params);
+  EXPECT_TRUE(net.Connected());
+}
+
+TEST(ConnectedUniformTest, ThrowsWhenImpossible) {
+  const auto params = sinr::Params::Default();
+  // 3 nodes over a 100x100 field: essentially never connected.
+  EXPECT_THROW(ConnectedUniform(3, 100.0, params, 1, 4), InvalidArgument);
+}
+
+TEST(MakeNetworkTest, IdsDistinctAndInRange) {
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 300;
+  const auto pts = UniformSquare(200, 10.0, 5);
+  const auto net = MakeNetwork(pts, params, 9);
+  std::unordered_set<NodeId> seen;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const NodeId id = net.id(i);
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 300);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(MakeNetworkTest, SparseRegimeSampling) {
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 1 << 20;
+  const auto pts = UniformSquare(50, 5.0, 5);
+  const auto net = MakeNetwork(pts, params, 9);
+  std::unordered_set<NodeId> seen;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_TRUE(seen.insert(net.id(i)).second);
+  }
+}
+
+TEST(CorridorTest, RespectsHoles) {
+  const auto pts = Corridor(200, 10.0, 2.0, 3, 1.0, 5);
+  EXPECT_EQ(pts.size(), 200u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 2.0);
+    // Hole centers at x = 2.5, 5, 7.5, y = 1; side 1.
+    for (const double hx : {2.5, 5.0, 7.5}) {
+      EXPECT_FALSE(std::abs(p.x - hx) <= 0.5 && std::abs(p.y - 1.0) <= 0.5)
+          << "point in hole at " << hx;
+    }
+  }
+}
+
+TEST(CorridorTest, ImpossibleHolesRejected) {
+  EXPECT_THROW(Corridor(50, 2.0, 2.0, 1, 10.0, 1), InvalidArgument);
+}
+
+TEST(TwoScaleTest, ContrastingDensities) {
+  const auto pts = TwoScale(40, 8.0, 2, 30, 0.2, 9);
+  EXPECT_EQ(pts.size(), 40u + 60u);
+  // The hotspots push unit-ball density far above the sparse backdrop.
+  EXPECT_GE(UnitBallDensity(pts), 25);
+}
+
+TEST(StarTest, HubPlusArms) {
+  const auto pts = Star(4, 5, 0.5);
+  EXPECT_EQ(pts.size(), 21u);
+  EXPECT_EQ(pts[0], (Vec2{0, 0}));
+  // Arm tips at distance per_arm * pitch.
+  EXPECT_NEAR(Dist(pts[5], {0, 0}), 2.5, 1e-9);
+}
+
+TEST(MakeNetworkTest, TooManyNodesRejected) {
+  sinr::Params params = sinr::Params::Default();
+  params.id_space = 10;
+  const auto pts = UniformSquare(20, 5.0, 5);
+  EXPECT_THROW(MakeNetwork(pts, params, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcc::workload
