@@ -25,7 +25,7 @@ Outcome RunOnce(const sinr::Network& net, const cluster::Profile& prof,
   std::vector<std::size_t> all(net.size());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
   const int gamma = cluster::SubsetDensity(net, all);
-  sim::Exec ex(net);
+  sim::Exec ex(net, bench::EngineOptionsFromEnv());
   const auto res = cluster::BuildClustering(ex, prof, all, gamma, nonce);
   const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
   return {res.unassigned == 0 &&

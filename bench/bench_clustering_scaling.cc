@@ -27,7 +27,7 @@ void Run() {
       const auto net = workload::MakeNetwork(pts, params, 3 + n);
       const auto all = bench::AllIndices(net);
       const int gamma = cluster::SubsetDensity(net, all);
-      sim::Exec ex(net);
+      sim::Exec ex(net, bench::EngineOptionsFromEnv());
       const auto res = cluster::BuildClustering(
           ex, prof, all, gamma, static_cast<std::uint64_t>(n));
       const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
@@ -54,7 +54,7 @@ void Run() {
       const auto net = workload::MakeNetwork(pts, params, 31);
       const auto all = bench::AllIndices(net);
       const int gamma = cluster::SubsetDensity(net, all);
-      sim::Exec ex(net);
+      sim::Exec ex(net, bench::EngineOptionsFromEnv());
       const auto res = cluster::BuildClustering(ex, prof, all, gamma, 9);
       const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
       t.AddRow({Table::Num(params.id_space), Table::Num(res.rounds),

@@ -1,8 +1,19 @@
 // Engine micro-benchmarks (google-benchmark): SINR round throughput with
-// the dense gain matrix vs on-the-fly gains, schedule execution overhead,
-// and selector membership cost. These gate how large the protocol
-// experiments can run.
+// the dense gain matrix vs on-the-fly gains, exact vs grid-indexed
+// interference resolution, schedule execution overhead, and selector
+// membership cost. These gate how large the protocol experiments can run.
+//
+// `--compare_json` skips google-benchmark and instead times one dense round
+// (every 8th node transmitting) in exact and grid mode across
+// n in {256, 1024, 4096, 16384}, emitting a JSON record per size for the
+// bench trajectory.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <limits>
 
 #include "dcc/cluster/profile.h"
 #include "dcc/sel/ssf.h"
@@ -19,6 +30,21 @@ sinr::Network MakeNet(int n, std::int64_t id_space) {
   auto pts = workload::UniformSquare(n, std::sqrt(static_cast<double>(n)),
                                      42);
   return workload::MakeNetwork(std::move(pts), params, 7);
+}
+
+// Every 8th node transmits — the dense-transmitter regime of the
+// acceptance target.
+void DenseTxSplit(std::size_t n, std::vector<std::size_t>& tx,
+                  std::vector<std::size_t>& listeners) {
+  tx.clear();
+  listeners.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) {
+      tx.push_back(i);
+    } else {
+      listeners.push_back(i);
+    }
+  }
 }
 
 void BM_EngineStepDense(benchmark::State& state) {
@@ -41,6 +67,29 @@ void BM_EngineStepDense(benchmark::State& state) {
                           static_cast<std::int64_t>(listeners.size()));
 }
 BENCHMARK(BM_EngineStepDense)->Arg(64)->Arg(256)->Arg(1024);
+
+// Exact vs grid-indexed interference resolution on one dense round.
+// state.range(0) = n, state.range(1) = 0 (exact) or 1 (grid).
+void BM_EngineStepMode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto net = MakeNet(n, 1 << 20);
+  const auto mode = state.range(1) == 0 ? sinr::Engine::Mode::kExact
+                                        : sinr::Engine::Mode::kGrid;
+  const sinr::Engine eng(net, {.mode = mode});
+  std::vector<std::size_t> tx, listeners;
+  DenseTxSplit(net.size(), tx, listeners);
+  std::vector<sinr::Reception> out;
+  for (auto _ : state) {
+    eng.StepInto(tx, listeners, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tx.size()) *
+                          static_cast<std::int64_t>(listeners.size()));
+}
+BENCHMARK(BM_EngineStepMode)
+    ->ArgsProduct({{256, 1024, 4096, 16384}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EngineStepSparseTx(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -111,7 +160,88 @@ void BM_GainMatrixConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_GainMatrixConstruction)->Arg(128)->Arg(512);
 
+// --- exact vs grid comparison with JSON output ------------------------------
+
+double TimeStepMs(const sinr::Engine& eng,
+                  const std::vector<std::size_t>& tx,
+                  const std::vector<std::size_t>& listeners, int reps) {
+  std::vector<sinr::Reception> out;
+  eng.StepInto(tx, listeners, out);  // warm scratch buffers / caches
+  double best_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    eng.StepInto(tx, listeners, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
+int RunCompareJson() {
+  std::cout << "{\"bench\": \"engine_micro_exact_vs_grid\", \"tx_fraction\": "
+               "0.125, \"results\": [";
+  bool first = true;
+  for (const int n : {256, 1024, 4096, 16384}) {
+    const auto net = MakeNet(n, 1 << 20);
+    const sinr::Engine exact(net, {.mode = sinr::Engine::Mode::kExact});
+    const sinr::Engine grid(net, {.mode = sinr::Engine::Mode::kGrid});
+    std::vector<std::size_t> tx, listeners;
+    DenseTxSplit(net.size(), tx, listeners);
+
+    // In-bench equivalence check: same (listener, sender) sequence, SINR
+    // within the engine's documented tolerance.
+    const auto recs_exact = exact.Step(tx, listeners);
+    grid.ResetStats();
+    const auto recs_grid = grid.Step(tx, listeners);
+    bool match = recs_exact.size() == recs_grid.size();
+    for (std::size_t k = 0; match && k < recs_exact.size(); ++k) {
+      // Relative SINR tolerance: 1e-9 base plus the cancellation term of
+      // the interference computation, eps * |T| * sinr (the `total - best`
+      // subtraction amplifies summation-order noise by ~sinr in both
+      // modes).
+      const double s = recs_exact[k].sinr;
+      const double tol =
+          s * (1e-9 + std::numeric_limits<double>::epsilon() *
+                          static_cast<double>(tx.size()) * s);
+      match = recs_exact[k].listener == recs_grid[k].listener &&
+              recs_exact[k].sender == recs_grid[k].sender &&
+              std::abs(s - recs_grid[k].sinr) <= tol;
+    }
+    const auto grid_stats = grid.stats();
+
+    const int reps = n >= 16384 ? 3 : 10;
+    const double exact_ms = TimeStepMs(exact, tx, listeners, reps);
+    const double grid_ms = TimeStepMs(grid, tx, listeners, reps);
+
+    std::cout << (first ? "" : ", ") << "{\"n\": " << n
+              << ", \"transmitters\": " << tx.size()
+              << ", \"receptions\": " << recs_grid.size()
+              << ", \"receptions_match\": " << (match ? "true" : "false")
+              << ", \"grid_pruned\": " << grid_stats.grid_pruned
+              << ", \"grid_fallbacks\": " << grid_stats.grid_exact_fallbacks
+              << ", \"exact_ms\": " << exact_ms
+              << ", \"grid_ms\": " << grid_ms
+              << ", \"speedup\": " << exact_ms / grid_ms << "}";
+    first = false;
+  }
+  std::cout << "]}" << std::endl;
+  return 0;
+}
+
 }  // namespace
 }  // namespace dcc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare_json") == 0) {
+      return dcc::RunCompareJson();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,7 +32,7 @@ void Run() {
   std::cout << "workload: 7 blobs x 14 nodes, D=" << net.Diameter()
             << " Delta=" << net.Density() << "\n\n";
 
-  sim::Exec ex(net);
+  sim::Exec ex(net, bench::EngineOptionsFromEnv());
   const auto sm = bcast::SmsBroadcast(ex, prof, {0}, net.Density(),
                                       net.Diameter() + 3, 1);
 

@@ -35,7 +35,7 @@ void Run() {
     for (const std::size_t idx : all) {
       parts.push_back({idx, net.id(idx), kNoCluster});
     }
-    sim::Exec ex(net);
+    sim::Exec ex(net, bench::EngineOptionsFromEnv());
     const auto prox = cluster::BuildProximityGraph(
         ex, prof, parts, /*clustered=*/false, static_cast<std::uint64_t>(n));
 

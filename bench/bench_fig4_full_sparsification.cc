@@ -35,7 +35,7 @@ void Run() {
   std::vector<ClusterId> cl(net.size());
   for (std::size_t i = 0; i < net.size(); ++i) cl[i] = net.id((i / per) * per);
 
-  sim::Exec ex(net);
+  sim::Exec ex(net, bench::EngineOptionsFromEnv());
   const auto full = cluster::FullSparsify(ex, prof, all, cl, per, 1);
 
   Table t({"level", "size", "max-cluster", "bound=G*(3/4)^i"});

@@ -46,21 +46,21 @@ void Run() {
     const auto all = bench::AllIndices(net);
     const int delta = cluster::SubsetDensity(net, all);
 
-    sim::Exec ex_rk(net);
+    sim::Exec ex_rk(net, bench::EngineOptionsFromEnv());
     const auto rk =
         baselines::RandLocalBroadcastKnown(ex_rk, all, delta, 1.0, 24.0, 42);
 
-    sim::Exec ex_ru(net);
+    sim::Exec ex_ru(net, bench::EngineOptionsFromEnv());
     const auto ru = baselines::RandLocalBroadcastUnknown(ex_ru, all, 2 * delta,
                                                          1.0, 24.0, 43);
 
-    sim::Exec ex_td(net);
+    sim::Exec ex_td(net, bench::EngineOptionsFromEnv());
     const auto td = baselines::TdmaLocalBroadcast(ex_td, all);
 
-    sim::Exec ex_gt(net);
+    sim::Exec ex_gt(net, bench::EngineOptionsFromEnv());
     const auto gt = baselines::GridTdmaLocalBroadcast(ex_gt, all);
 
-    sim::Exec ex_dt(net);
+    sim::Exec ex_dt(net, bench::EngineOptionsFromEnv());
     const auto dt =
         bcast::LocalBroadcast(ex_dt, prof, all, delta, 100 + n);
 

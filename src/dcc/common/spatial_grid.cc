@@ -1,0 +1,106 @@
+#include "dcc/common/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dcc/common/types.h"
+
+namespace dcc {
+
+namespace {
+
+// Squared distance from x to the interval [lo, hi], per axis.
+inline double AxisGapSq(double x, double lo, double hi) {
+  const double g = x < lo ? lo - x : (x > hi ? x - hi : 0.0);
+  return g * g;
+}
+
+// Max |x - q| over q in [lo, hi].
+inline double AxisFarSq(double x, double lo, double hi) {
+  const double g = std::max(std::abs(x - lo), std::abs(x - hi));
+  return g * g;
+}
+
+}  // namespace
+
+SpatialGrid::SpatialGrid(std::span<const Vec2> pts, double cell)
+    : cell_(cell) {
+  DCC_REQUIRE(cell > 0.0, "SpatialGrid: cell must be > 0");
+  const Box box = BoundingBox(pts);
+  lo_x_ = box.lo.x;
+  lo_y_ = box.lo.y;
+  // Guard against a cell far smaller than the point extent (e.g. a typo'd
+  // engine option): the per-tile arrays would dwarf the point set.
+  const std::int64_t max_tiles = std::min<std::int64_t>(
+      std::max<std::int64_t>(1024, 64 * static_cast<std::int64_t>(pts.size())),
+      std::numeric_limits<int>::max());
+  const auto axis_tiles = [&](double extent) {
+    const double raw = std::floor(extent / cell_);
+    DCC_REQUIRE(raw < static_cast<double>(max_tiles),
+                "SpatialGrid: cell too small for the point extent");
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(raw) + 1);
+  };
+  const std::int64_t nx = axis_tiles(box.hi.x - lo_x_);
+  const std::int64_t ny = axis_tiles(box.hi.y - lo_y_);
+  DCC_REQUIRE(ny <= max_tiles / nx,
+              "SpatialGrid: cell too small for the point extent");
+  nx_ = static_cast<int>(nx);
+  ny_ = static_cast<int>(ny);
+
+  const std::size_t n = pts.size();
+  tile_of_point_.resize(n);
+  start_.assign(static_cast<std::size_t>(tile_count()) + 1, 0);
+  points_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int t = TileAt(pts[i]);
+    tile_of_point_[i] = t;
+    ++start_[static_cast<std::size_t>(t) + 1];
+  }
+  for (std::size_t t = 0; t < start_.size() - 1; ++t) {
+    if (start_[t + 1] > 0) occupied_.push_back(static_cast<int>(t));
+    start_[t + 1] += start_[t];
+  }
+  std::vector<std::size_t> fill(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    points_[fill[static_cast<std::size_t>(tile_of_point_[i])]++] = i;
+  }
+}
+
+int SpatialGrid::TileAt(Vec2 p) const {
+  int gx = static_cast<int>(std::floor((p.x - lo_x_) / cell_));
+  int gy = static_cast<int>(std::floor((p.y - lo_y_) / cell_));
+  gx = std::clamp(gx, 0, nx_ - 1);
+  gy = std::clamp(gy, 0, ny_ - 1);
+  return gy * nx_ + gx;
+}
+
+double SpatialGrid::DistLoSq(Vec2 p, int tile) const {
+  const int gx = tile % nx_, gy = tile / nx_;
+  const double bx = lo_x_ + gx * cell_, by = lo_y_ + gy * cell_;
+  return AxisGapSq(p.x, bx, bx + cell_) + AxisGapSq(p.y, by, by + cell_);
+}
+
+double SpatialGrid::DistHiSq(Vec2 p, int tile) const {
+  const int gx = tile % nx_, gy = tile / nx_;
+  const double bx = lo_x_ + gx * cell_, by = lo_y_ + gy * cell_;
+  return AxisFarSq(p.x, bx, bx + cell_) + AxisFarSq(p.y, by, by + cell_);
+}
+
+double SpatialGrid::TileDistLoSq(int a, int b) const {
+  const int ax = a % nx_, ay = a / nx_;
+  const int bx = b % nx_, by = b / nx_;
+  const double gx = cell_ * std::max(0, std::abs(ax - bx) - 1);
+  const double gy = cell_ * std::max(0, std::abs(ay - by) - 1);
+  return gx * gx + gy * gy;
+}
+
+double SpatialGrid::TileDistHiSq(int a, int b) const {
+  const int ax = a % nx_, ay = a / nx_;
+  const int bx = b % nx_, by = b / nx_;
+  const double gx = cell_ * (std::abs(ax - bx) + 1);
+  const double gy = cell_ * (std::abs(ay - by) + 1);
+  return gx * gx + gy * gy;
+}
+
+}  // namespace dcc

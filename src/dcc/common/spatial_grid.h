@@ -1,0 +1,76 @@
+// Uniform spatial grid over a fixed point set, with dense tile storage.
+//
+// Unlike PointGrid (geometry.h), which hashes sparse cells for one-off
+// radius queries, SpatialGrid is built once over the simulator's node
+// positions and optimized for the SINR engine's per-round tile sweeps:
+//  * CSR layout — members of a tile are a contiguous span;
+//  * O(1) point -> tile lookup (precomputed per point);
+//  * conservative distance bounds between a point (or tile) and a tile's
+//    bounding box, used to bound per-tile interference contributions.
+//
+// Tiles are indexed row-major in [0, tile_count()). The grid covers the
+// bounding box of the points; every point maps to exactly one tile.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dcc/common/geometry.h"
+
+namespace dcc {
+
+class SpatialGrid {
+ public:
+  // `cell` > 0 is the tile side length.
+  SpatialGrid(std::span<const Vec2> pts, double cell);
+
+  double cell() const { return cell_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int tile_count() const { return nx_ * ny_; }
+  std::size_t point_count() const { return tile_of_point_.size(); }
+
+  // Tile of point i (as passed at construction).
+  int TileOfPoint(std::size_t i) const { return tile_of_point_[i]; }
+
+  // Tile containing an arbitrary position (clamped into the grid).
+  int TileAt(Vec2 p) const;
+
+  // Point indices inside a tile (contiguous, ascending).
+  std::span<const std::size_t> Members(int tile) const {
+    return {points_.data() + start_[static_cast<std::size_t>(tile)],
+            points_.data() + start_[static_cast<std::size_t>(tile) + 1]};
+  }
+
+  // Tiles holding at least one point, ascending.
+  const std::vector<int>& occupied() const { return occupied_; }
+
+  // Distance bounds from a position to a tile's closed bounding box:
+  // DistLo <= |p - q| <= DistHi for every q in the tile box (and hence for
+  // every member point). The squared variants skip the sqrt for hot loops.
+  double DistLoSq(Vec2 p, int tile) const;
+  double DistHiSq(Vec2 p, int tile) const;
+  double DistLo(Vec2 p, int tile) const { return std::sqrt(DistLoSq(p, tile)); }
+  double DistHi(Vec2 p, int tile) const { return std::sqrt(DistHiSq(p, tile)); }
+
+  // Distance bounds between two tiles' bounding boxes: for every p in tile
+  // a's box and q in tile b's box, TileDistLo <= |p - q| <= TileDistHi.
+  double TileDistLoSq(int a, int b) const;
+  double TileDistHiSq(int a, int b) const;
+  double TileDistLo(int a, int b) const { return std::sqrt(TileDistLoSq(a, b)); }
+  double TileDistHi(int a, int b) const { return std::sqrt(TileDistHiSq(a, b)); }
+
+ private:
+  double lo_x_ = 0.0, lo_y_ = 0.0;  // grid origin (bounding-box corner)
+  double cell_ = 1.0;
+  int nx_ = 1, ny_ = 1;
+  std::vector<int> tile_of_point_;
+  std::vector<std::size_t> start_;   // CSR offsets, size tile_count()+1
+  std::vector<std::size_t> points_;  // point ids grouped by tile
+  std::vector<int> occupied_;
+};
+
+}  // namespace dcc

@@ -4,7 +4,8 @@
 
 namespace dcc::sim {
 
-Exec::Exec(const sinr::Network& net) : net_(&net), engine_(net) {
+Exec::Exec(const sinr::Network& net, sinr::Engine::Options engine_options)
+    : net_(&net), engine_(net, engine_options) {
   is_tx_.assign(net.size(), 0);
 }
 
@@ -50,9 +51,9 @@ int Exec::RunRound(const std::vector<std::size_t>& candidates,
   for (std::size_t u = 0; u < n; ++u) {
     if (!is_tx_[u]) listeners_.push_back(u);
   }
-  const auto receptions = engine_.Step(tx_, listeners_);
-  if (observer_) observer_(round_ - 1, tx_, receptions);
-  for (const auto& rec : receptions) {
+  engine_.StepInto(tx_, listeners_, receptions_);
+  if (observer_) observer_(round_ - 1, tx_, receptions_);
+  for (const auto& rec : receptions_) {
     hear(rec.listener, msgs_[slot_of_[rec.sender]]);
   }
   for (const std::size_t i : tx_) is_tx_[i] = 0;

@@ -22,7 +22,11 @@ namespace dcc::sim {
 
 class Exec {
  public:
-  explicit Exec(const sinr::Network& net);
+  // `engine_options` selects the interference resolution strategy (exact vs
+  // grid-indexed) for every round this Exec runs; the default auto mode
+  // picks by network size.
+  explicit Exec(const sinr::Network& net,
+                sinr::Engine::Options engine_options = {});
 
   using Decide = std::function<std::optional<Message>(std::size_t)>;
   using Hear = std::function<void(std::size_t, const Message&)>;
@@ -69,12 +73,14 @@ class Exec {
   sinr::Engine engine_;
   Round round_ = 0;
   int max_tx_ = 0;
-  // scratch, reused across rounds
+  // scratch, reused across rounds (RunRound is allocation-free after the
+  // first few rounds warm these up)
   std::vector<std::size_t> tx_;
   std::vector<Message> msgs_;
   std::vector<std::size_t> listeners_;
   std::vector<char> is_tx_;
   std::vector<std::size_t> slot_of_;
+  std::vector<sinr::Reception> receptions_;
   Observer observer_;
   std::vector<std::size_t> background_;
   Message background_msg_;
@@ -93,7 +99,9 @@ class NodeProtocol {
 
 class Runner {
  public:
-  explicit Runner(const sinr::Network& net) : exec_(net) {}
+  explicit Runner(const sinr::Network& net,
+                  sinr::Engine::Options engine_options = {})
+      : exec_(net, engine_options) {}
 
   // Runs protocols (one per node index, non-null) until all Done() or
   // max_rounds elapse. Returns rounds executed.

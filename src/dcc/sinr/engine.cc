@@ -1,44 +1,540 @@
 #include "dcc/sinr/engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <typeinfo>
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#include <immintrin.h>
+#define DCC_X86_DISPATCH 1
+#endif
 
 namespace dcc::sinr {
 
-Engine::Engine(const Network& net) : net_(&net) {}
+namespace {
+
+// Pruning decisions are made from conservative bounds computed in floating
+// point; this margin routes near-threshold listeners to the exact fallback
+// instead of trusting the last few ulps of the bound arithmetic.
+constexpr double kPruneSlack = 1e-9;
+
+// The batched AVX-512 fallback kernel is ~2 ulp off the correctly-rounded
+// scalar path (and hardware rsqrt seeds differ between vendors), so any
+// fallback SINR within this relative distance of beta is re-resolved with
+// the scalar libm kernel: the reception *set* is then host-invariant even
+// though far-from-threshold SINR values may differ in their last bits.
+constexpr double kThresholdRecheck = 1e-12;
+
+// Fallback listeners are resolved in chunks of this many per far-field
+// sweep: the lanes are independent accumulators, so the sweep vectorizes
+// without any floating-point reassociation (one zmm/ymm lane group per
+// transmitter) and each transmitter load is amortized across the chunk.
+constexpr std::size_t kChunk = 8;
+
+#if defined(DCC_X86_DISPATCH) && !defined(__clang__)
+#define DCC_TARGET_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define DCC_TARGET_CLONES
+#endif
+
+// Sweeps the far-field transmitter ranges for one chunk of listeners under
+// the alpha = 3 path-loss kernel. div and sqrt vectorize to their packed
+// forms, which are correctly rounded, so results are bit-identical across
+// the dispatched clones.
+DCC_TARGET_CLONES
+void FarSweepAlpha3(const double* __restrict xs, const double* __restrict ys,
+                    const std::pair<std::size_t, std::size_t>* ranges,
+                    std::size_t n_ranges, double p, const double* __restrict lx,
+                    const double* __restrict ly, double* __restrict total,
+                    double* __restrict best,
+                    std::size_t* __restrict best_slot) {
+  for (std::size_t r = 0; r < n_ranges; ++r) {
+    for (std::size_t s = ranges[r].first; s < ranges[r].second; ++s) {
+      const double vx = xs[s];
+      const double vy = ys[s];
+      for (std::size_t j = 0; j < kChunk; ++j) {
+        const double dx = vx - lx[j];
+        const double dy = vy - ly[j];
+        double d2 = dx * dx + dy * dy;
+        d2 = d2 < PathLossModel::kMinDistanceSq ? PathLossModel::kMinDistanceSq
+                                                : d2;
+        const double g = p / (d2 * std::sqrt(d2));
+        total[j] += g;
+        const bool upd = g > best[j];
+        best[j] = upd ? g : best[j];
+        best_slot[j] = upd ? s : best_slot[j];
+      }
+    }
+  }
+}
+
+#ifdef DCC_X86_DISPATCH
+// AVX-512 variant of the sweep above: d2^{-3/2} from vrsqrt14pd refined by
+// two Newton steps — a pure multiply/FMA pipeline with no divider pressure.
+// Error after refinement is ~1.5 * (5e-9)^2, i.e. below double epsilon, so
+// gains agree with the scalar kernel to ~2 ulp (well inside the engine's
+// documented 1e-9 SINR tolerance and the pruning slack).
+__attribute__((target("avx512f"))) void FarSweepAlpha3Avx512(
+    const double* xs, const double* ys,
+    const std::pair<std::size_t, std::size_t>* ranges, std::size_t n_ranges,
+    double p, const double* lx, const double* ly, double* total, double* best,
+    std::size_t* best_slot) {
+  static_assert(kChunk == 8, "one zmm register holds the listener chunk");
+  const __m512d vlx = _mm512_loadu_pd(lx);
+  const __m512d vly = _mm512_loadu_pd(ly);
+  const __m512d vmin = _mm512_set1_pd(PathLossModel::kMinDistanceSq);
+  const __m512d vp = _mm512_set1_pd(p);
+  const __m512d vhalf = _mm512_set1_pd(0.5);
+  const __m512d v3half = _mm512_set1_pd(1.5);
+  __m512d vtotal = _mm512_loadu_pd(total);
+  __m512d vbest = _mm512_loadu_pd(best);
+  __m512i vslot = _mm512_loadu_si512(best_slot);
+  for (std::size_t r = 0; r < n_ranges; ++r) {
+    for (std::size_t s = ranges[r].first; s < ranges[r].second; ++s) {
+      const __m512d dx = _mm512_sub_pd(_mm512_set1_pd(xs[s]), vlx);
+      const __m512d dy = _mm512_sub_pd(_mm512_set1_pd(ys[s]), vly);
+      const __m512d d2 = _mm512_max_pd(
+          _mm512_fmadd_pd(dx, dx, _mm512_mul_pd(dy, dy)), vmin);
+      __m512d h = _mm512_rsqrt14_pd(d2);
+      // Two Newton refinements: h <- h * (1.5 - 0.5 * d2 * h * h).
+      __m512d hh = _mm512_mul_pd(h, h);
+      h = _mm512_mul_pd(
+          h, _mm512_fnmadd_pd(_mm512_mul_pd(vhalf, d2), hh, v3half));
+      hh = _mm512_mul_pd(h, h);
+      h = _mm512_mul_pd(
+          h, _mm512_fnmadd_pd(_mm512_mul_pd(vhalf, d2), hh, v3half));
+      // g = p * h^3 = p / d2^{3/2}.
+      const __m512d g =
+          _mm512_mul_pd(_mm512_mul_pd(vp, h), _mm512_mul_pd(h, h));
+      vtotal = _mm512_add_pd(vtotal, g);
+      const __mmask8 upd = _mm512_cmp_pd_mask(g, vbest, _CMP_GT_OQ);
+      vbest = _mm512_mask_mov_pd(vbest, upd, g);
+      vslot = _mm512_mask_mov_epi64(
+          vslot, upd, _mm512_set1_epi64(static_cast<long long>(s)));
+    }
+  }
+  _mm512_storeu_pd(total, vtotal);
+  _mm512_storeu_pd(best, vbest);
+  _mm512_storeu_si512(best_slot, vslot);
+}
+#endif  // DCC_X86_DISPATCH
+
+bool HasAvx512() {
+#ifdef DCC_X86_DISPATCH
+  static const bool has = __builtin_cpu_supports("avx512f") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+double AutoCell(const Network& net) {
+  const Box box = BoundingBox(net.positions());
+  const double area = (box.hi.x - box.lo.x) * (box.hi.y - box.lo.y);
+  if (net.size() == 0 || area <= 0.0) return 1.0;
+  // Aim for ~64 nodes per tile under uniform density, with tiles no smaller
+  // than the transmission range scale.
+  return std::max(1.0,
+                  std::sqrt(64.0 * area / static_cast<double>(net.size())));
+}
+
+}  // namespace
+
+Engine::Engine(const Network& net, Options options)
+    : net_(&net), options_(options) {
+  switch (options_.mode) {
+    case Mode::kExact:
+      mode_ = Mode::kExact;
+      break;
+    case Mode::kGrid:
+      mode_ = Mode::kGrid;
+      break;
+    case Mode::kAuto:
+      mode_ = net.size() > options_.grid_threshold ? Mode::kGrid : Mode::kExact;
+      break;
+  }
+  if (mode_ == Mode::kGrid) {
+    const double cell = options_.cell > 0.0 ? options_.cell : AutoCell(net);
+    grid_.emplace(std::span<const Vec2>(net.positions()), cell);
+    near_radius_ = std::max(cell, 2.0);
+    far_start_ = 2.0 * near_radius_;
+    if (typeid(net.propagation()) == typeid(PathLossModel)) {
+      pure_path_loss_ = static_cast<const PathLossModel*>(&net.propagation());
+    }
+    const auto tiles = static_cast<std::size_t>(grid_->tile_count());
+    tx_start_.assign(tiles + 1, 0);
+    tile_stamp_.assign(tiles, 0);
+    tile_far_lo_.assign(tiles, 0.0);
+    tile_far_ub_.assign(tiles, 0.0);
+    tile_close_begin_.assign(tiles, 0);
+    tile_close_end_.assign(tiles, 0);
+  }
+  is_tx_.assign(net.size(), 0);
+}
 
 std::vector<Reception> Engine::Step(
     const std::vector<std::size_t>& transmitters,
     const std::vector<std::size_t>& listeners) const {
+  std::vector<Reception> out;
+  StepInto(transmitters, listeners, out);
+  return out;
+}
+
+void Engine::StepInto(std::span<const std::size_t> transmitters,
+                      std::span<const std::size_t> listeners,
+                      std::vector<Reception>& out) const {
   ++stats_.rounds;
   stats_.transmissions += static_cast<std::int64_t>(transmitters.size());
-  std::vector<Reception> out;
-  if (transmitters.empty() || listeners.empty()) return out;
+  out.clear();
+  if (transmitters.empty() || listeners.empty()) return;
+  if (mode_ == Mode::kGrid) {
+    StepGrid(transmitters, listeners, out);
+  } else {
+    StepExact(transmitters, listeners, out);
+  }
+  stats_.receptions += static_cast<std::int64_t>(out.size());
+}
 
+void Engine::ResolveExact(std::size_t u,
+                          std::span<const std::size_t> transmitters,
+                          std::vector<Reception>& out) const {
   const Network& net = *net_;
+  double total = 0.0;
+  double best = -1.0;
+  std::size_t best_tx = 0;
+  for (const std::size_t v : transmitters) {
+    DCC_CHECK(v != u);  // a transmitter cannot listen
+    const double g = net.Gain(v, u);
+    total += g;
+    if (g > best) {
+      best = g;
+      best_tx = v;
+    }
+  }
+  const double interference = total - best;
+  const double sinr = best / (net.params().noise + interference);
+  if (sinr >= net.params().beta) {
+    out.push_back(Reception{u, best_tx, sinr});
+  }
+}
+
+void Engine::StepExact(std::span<const std::size_t> transmitters,
+                       std::span<const std::size_t> listeners,
+                       std::vector<Reception>& out) const {
+  for (const std::size_t u : listeners) {
+    ResolveExact(u, transmitters, out);
+  }
+}
+
+void Engine::ResolveFallbacksBlocked(
+    std::span<const std::size_t> transmitters,
+    std::vector<Reception>& out) const {
+  const Network& net = *net_;
+  const PathLossModel& plm = *pure_path_loss_;
   const double beta = net.params().beta;
   const double noise = net.params().noise;
 
-  for (const std::size_t u : listeners) {
+  // Scalar exact re-resolution for SINRs too close to beta to trust the
+  // vectorized kernel's last ulps (see kThresholdRecheck).
+  const auto resolve_scalar = [&](const GridFallback& r) {
     double total = 0.0;
-    double best = -1.0;
-    std::size_t best_tx = 0;
+    double b = -1.0;
+    std::size_t b_tx = 0;
     for (const std::size_t v : transmitters) {
-      DCC_CHECK(v != u);  // a transmitter cannot listen
-      const double g = net.Gain(v, u);
+      const double g = net.Gain(v, r.u);
       total += g;
-      if (g > best) {
-        best = g;
-        best_tx = v;
+      if (g > b) {
+        b = g;
+        b_tx = v;
       }
     }
-    const double interference = total - best;
-    const double sinr = best / (noise + interference);
-    if (sinr >= beta) {
-      out.push_back(Reception{u, best_tx, sinr});
-      ++stats_.receptions;
+    const double s = b / (noise + total - b);
+    if (s >= beta) {
+      pending_.emplace_back(r.ordinal, Reception{r.u, b_tx, s});
+    }
+  };
+
+  // Group the deferred listeners by tile so each group shares one far-range
+  // scan; ordinals restore the caller's listener order at the end.
+  std::sort(fallback_.begin(), fallback_.end(),
+            [](const GridFallback& a, const GridFallback& b) {
+              return a.tile != b.tile ? a.tile < b.tile
+                                      : a.ordinal < b.ordinal;
+            });
+  pending_.clear();
+
+  for (std::size_t i = 0; i < fallback_.size();) {
+    const std::uint32_t tile = fallback_[i].tile;
+    std::size_t group_end = i;
+    while (group_end < fallback_.size() && fallback_[group_end].tile == tile) {
+      ++group_end;
+    }
+
+    // The tile's far transmitter ranges: occupied tiles minus the close
+    // list (both ascending), with adjacent CSR ranges coalesced.
+    far_ranges_.clear();
+    {
+      std::uint32_t c = tile_close_begin_[tile];
+      const std::uint32_t c_end = tile_close_end_[tile];
+      for (const int b : occupied_tx_) {
+        if (c < c_end && close_pool_[c] == b) {
+          ++c;
+          continue;
+        }
+        const std::size_t mb = tx_start_[static_cast<std::size_t>(b)];
+        const std::size_t me = tx_start_[static_cast<std::size_t>(b) + 1];
+        if (!far_ranges_.empty() && far_ranges_.back().second == mb) {
+          far_ranges_.back().second = me;
+        } else {
+          far_ranges_.emplace_back(mb, me);
+        }
+      }
+    }
+
+    for (std::size_t c0 = i; c0 < group_end; c0 += kChunk) {
+      const std::size_t m = std::min(kChunk, group_end - c0);
+      alignas(64) double lx[kChunk], ly[kChunk], total[kChunk],
+          far_best[kChunk];
+      alignas(64) std::size_t far_best_v[kChunk] = {};
+      for (std::size_t j = 0; j < kChunk; ++j) {
+        // Pad short chunks with lane 0; padded lanes are never emitted.
+        const GridFallback& r = fallback_[c0 + (j < m ? j : 0)];
+        const Vec2 p = net.position(r.u);
+        lx[j] = p.x;
+        ly[j] = p.y;
+        total[j] = 0.0;
+        far_best[j] = -1.0;
+      }
+      if (plm.alpha_is_three()) {
+#ifdef DCC_X86_DISPATCH
+        if (HasAvx512()) {
+          FarSweepAlpha3Avx512(tx_sx_.data(), tx_sy_.data(),
+                               far_ranges_.data(), far_ranges_.size(),
+                               plm.power(), lx, ly, total, far_best,
+                               far_best_v);
+        } else {
+          FarSweepAlpha3(tx_sx_.data(), tx_sy_.data(), far_ranges_.data(),
+                         far_ranges_.size(), plm.power(), lx, ly, total,
+                         far_best, far_best_v);
+        }
+#else
+        FarSweepAlpha3(tx_sx_.data(), tx_sy_.data(), far_ranges_.data(),
+                       far_ranges_.size(), plm.power(), lx, ly, total,
+                       far_best, far_best_v);
+#endif
+      } else {
+        for (const auto& [mb, me] : far_ranges_) {
+          for (std::size_t s = mb; s < me; ++s) {
+            const double vx = tx_sx_[s];
+            const double vy = tx_sy_[s];
+            for (std::size_t j = 0; j < kChunk; ++j) {
+              const double dx = vx - lx[j];
+              const double dy = vy - ly[j];
+              const double g = plm.GainD2(dx * dx + dy * dy);
+              total[j] += g;
+              if (g > far_best[j]) {
+                far_best[j] = g;
+                far_best_v[j] = s;
+              }
+            }
+          }
+        }
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const GridFallback& r = fallback_[c0 + j];
+        const double all = r.close_sum + total[j];
+        double best = r.close_best;
+        std::size_t best_v = r.close_best_v;
+        if (far_best[j] > best) {
+          best = far_best[j];
+          best_v = tx_members_[far_best_v[j]];
+        }
+        const double sinr = best / (noise + all - best);
+        if (std::abs(sinr - beta) <= beta * kThresholdRecheck) {
+          resolve_scalar(r);
+        } else if (sinr >= beta) {
+          pending_.emplace_back(r.ordinal, Reception{r.u, best_v, sinr});
+        }
+      }
+    }
+    i = group_end;
+  }
+
+  std::sort(pending_.begin(), pending_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [ordinal, rec] : pending_) {
+    out.push_back(rec);
+  }
+}
+
+void Engine::StepGrid(std::span<const std::size_t> transmitters,
+                      std::span<const std::size_t> listeners,
+                      std::vector<Reception>& out) const {
+  const Network& net = *net_;
+  const PropagationModel& model = net.propagation();
+  const SpatialGrid& grid = *grid_;
+  const double beta = net.params().beta;
+  const double noise = net.params().noise;
+
+  // Bucket this round's transmitters into tiles (counting sort, reusing the
+  // CSR scratch; O(tiles + |T|)).
+  std::fill(tx_start_.begin(), tx_start_.end(), 0);
+  for (const std::size_t v : transmitters) {
+    is_tx_[v] = 1;
+    ++tx_start_[static_cast<std::size_t>(grid.TileOfPoint(v)) + 1];
+  }
+  occupied_tx_.clear();
+  for (std::size_t t = 0; t + 1 < tx_start_.size(); ++t) {
+    if (tx_start_[t + 1] > 0) occupied_tx_.push_back(static_cast<int>(t));
+    tx_start_[t + 1] += tx_start_[t];
+  }
+  tx_members_.resize(transmitters.size());
+  tx_sx_.resize(transmitters.size());
+  tx_sy_.resize(transmitters.size());
+  tx_fill_.assign(tx_start_.begin(), tx_start_.end() - 1);
+  for (const std::size_t v : transmitters) {
+    const std::size_t slot =
+        tx_fill_[static_cast<std::size_t>(grid.TileOfPoint(v))]++;
+    tx_members_[slot] = v;
+    const Vec2 p = net.position(v);
+    tx_sx_[slot] = p.x;
+    tx_sy_[slot] = p.y;
+  }
+
+  ++round_stamp_;
+  close_pool_.clear();
+  fallback_.clear();
+
+  // Envelope bounds as a function of squared distance, devirtualized for
+  // the pure path-loss model (no per-link structure, so the envelope IS the
+  // gain kernel).
+  const auto min_gain_d2 = [&](double d2_hi) {
+    return pure_path_loss_ != nullptr ? pure_path_loss_->GainD2(d2_hi)
+                                      : model.MinGain(std::sqrt(d2_hi));
+  };
+  const auto max_gain_d2 = [&](double d2_lo) {
+    return pure_path_loss_ != nullptr ? pure_path_loss_->GainD2(d2_lo)
+                                      : model.MaxGain(std::sqrt(d2_lo));
+  };
+  const double near_sq = near_radius_ * near_radius_;
+  const double far_sq = far_start_ * far_start_;
+
+  for (std::uint32_t ordinal = 0; ordinal < listeners.size(); ++ordinal) {
+    const std::size_t u = listeners[ordinal];
+    DCC_CHECK(!is_tx_[u]);  // a transmitter cannot listen
+    const Vec2 pu = net.position(u);
+    const auto tile_u = static_cast<std::size_t>(grid.TileOfPoint(u));
+    const int tile_u_i = static_cast<int>(tile_u);
+
+    // Shared per-listener-tile state: far-field bounds + close-tile list.
+    if (tile_stamp_[tile_u] != round_stamp_) {
+      tile_stamp_[tile_u] = round_stamp_;
+      double far_lo = 0.0, far_ub = 0.0;
+      tile_close_begin_[tile_u] = static_cast<std::uint32_t>(close_pool_.size());
+      for (const int b : occupied_tx_) {
+        const double d2_lo = grid.TileDistLoSq(tile_u_i, b);
+        if (d2_lo > far_sq) {
+          const auto cnt = static_cast<double>(
+              tx_start_[static_cast<std::size_t>(b) + 1] -
+              tx_start_[static_cast<std::size_t>(b)]);
+          far_lo += cnt * min_gain_d2(grid.TileDistHiSq(tile_u_i, b));
+          far_ub = std::max(far_ub, max_gain_d2(d2_lo));
+        } else {
+          close_pool_.push_back(b);
+        }
+      }
+      tile_close_end_[tile_u] = static_cast<std::uint32_t>(close_pool_.size());
+      tile_far_lo_[tile_u] = far_lo;
+      tile_far_ub_[tile_u] = far_ub;
+    }
+
+    const auto gain_at = [&](std::size_t v) {
+      if (pure_path_loss_ != nullptr) {
+        return pure_path_loss_->GainD2(Dist2(net.position(v), pu));
+      }
+      return net.Gain(v, u);
+    };
+
+    // Stage 1 — near tiles: exact member scan; mid tiles: envelope bounds.
+    double close_sum = 0.0;
+    double best = -1.0;
+    std::size_t best_v = 0;
+    double bound_lo = tile_far_lo_[tile_u];
+    double gain_ub = tile_far_ub_[tile_u];
+    const std::uint32_t close_begin = tile_close_begin_[tile_u];
+    const std::uint32_t close_end = tile_close_end_[tile_u];
+    for (std::uint32_t k = close_begin; k < close_end; ++k) {
+      const int b = close_pool_[k];
+      const double d2_lo = grid.DistLoSq(pu, b);
+      const std::size_t mb = tx_start_[static_cast<std::size_t>(b)];
+      const std::size_t me = tx_start_[static_cast<std::size_t>(b) + 1];
+      if (d2_lo <= near_sq) {
+        for (std::size_t s = mb; s < me; ++s) {
+          const double g = gain_at(tx_members_[s]);
+          close_sum += g;
+          if (g > best) {
+            best = g;
+            best_v = tx_members_[s];
+          }
+        }
+      } else {
+        bound_lo +=
+            static_cast<double>(me - mb) * min_gain_d2(grid.DistHiSq(pu, b));
+        gain_ub = std::max(gain_ub, max_gain_d2(d2_lo));
+      }
+    }
+
+    // Best-case SINR: the strongest any transmitter could be, against the
+    // least interference this listener could see. If even that misses
+    // beta, no reception is possible.
+    const auto cannot_receive = [&](double best_ub, double interference_lo) {
+      if (best_ub <= 0.0) return true;
+      const double i_lo = std::max(0.0, interference_lo - best_ub);
+      return (best_ub / (noise + i_lo)) * (1.0 + kPruneSlack) < beta;
+    };
+    if (cannot_receive(std::max(best, gain_ub), close_sum + bound_lo)) {
+      ++stats_.grid_pruned;
+      continue;
+    }
+
+    // Stage 2 — scan the mid tiles exactly; only the shared far-field
+    // bound remains an estimate.
+    for (std::uint32_t k = close_begin; k < close_end; ++k) {
+      const int b = close_pool_[k];
+      if (grid.DistLoSq(pu, b) <= near_sq) continue;  // already exact
+      for (std::size_t s = tx_start_[static_cast<std::size_t>(b)];
+           s < tx_start_[static_cast<std::size_t>(b) + 1]; ++s) {
+        const double g = gain_at(tx_members_[s]);
+        close_sum += g;
+        if (g > best) {
+          best = g;
+          best_v = tx_members_[s];
+        }
+      }
+    }
+    if (cannot_receive(std::max(best, tile_far_ub_[tile_u]),
+                       close_sum + tile_far_lo_[tile_u])) {
+      ++stats_.grid_pruned;
+      continue;
+    }
+
+    // Stage 3 — a reception is genuinely possible: defer to the exact
+    // fallback (batched for the pure path-loss model).
+    ++stats_.grid_exact_fallbacks;
+    if (pure_path_loss_ != nullptr) {
+      fallback_.push_back(GridFallback{static_cast<std::uint32_t>(tile_u),
+                                       ordinal, u, close_sum, best, best_v});
+    } else {
+      ResolveExact(u, transmitters, out);
     }
   }
-  return out;
+
+  if (!fallback_.empty()) {
+    ResolveFallbacksBlocked(transmitters, out);
+  }
+
+  for (const std::size_t v : transmitters) is_tx_[v] = 0;
 }
 
 double Engine::Sinr(std::size_t v, std::size_t u,

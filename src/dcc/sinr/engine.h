@@ -4,12 +4,33 @@
 // Because beta > 1, at most one transmitter can satisfy the SINR constraint
 // at a given listener, so reception resolves to "the strongest transmitter,
 // if its SINR clears beta" — the engine computes exactly that.
+//
+// Two interference resolution strategies:
+//  * kExact — brute force O(|T|) per listener. The semantic reference and
+//    test oracle.
+//  * kGrid — a uniform spatial index (common/spatial_grid.h) buckets the
+//    round's transmitters into tiles. Near-field tiles are scanned exactly;
+//    mid- and far-field tiles contribute conservative interference bounds
+//    through the propagation model's distance envelope. The bounds prune
+//    listeners whose best-case SINR cannot clear beta (the common case in
+//    dense rounds); every listener that might receive is resolved exactly
+//    by a batched far-field sweep (vectorized where the host supports it),
+//    so the reception set matches kExact and reported SINR values agree to
+//    >= 9 significant digits (floating-point reassociation only; at extreme
+//    SINRs the agreement degrades by an additional eps * |T| * sinr factor
+//    from cancellation in the interference subtraction, which affects both
+//    modes equally).
+// kAuto picks kExact while the network still carries its dense gain matrix
+// and kGrid above that size threshold.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "dcc/common/spatial_grid.h"
 #include "dcc/sinr/network.h"
 
 namespace dcc::sinr {
@@ -23,7 +44,22 @@ struct Reception {
 
 class Engine {
  public:
-  explicit Engine(const Network& net);
+  enum class Mode {
+    kAuto,   // kExact up to the dense-gain-matrix limit, kGrid beyond
+    kExact,  // brute-force oracle
+    kGrid,   // spatial-index pruning + exact fallback
+  };
+
+  struct Options {
+    Mode mode = Mode::kAuto;
+    // Grid tile side; 0 picks a density-based default (~64 nodes/tile).
+    double cell = 0.0;
+    // kAuto switches to kGrid for networks larger than this.
+    std::size_t grid_threshold = Network::kGainMatrixLimit;
+  };
+
+  explicit Engine(const Network& net) : Engine(net, Options{}) {}
+  Engine(const Network& net, Options options);
 
   // Computes receptions for one round.
   //  * `transmitters`: indices of nodes transmitting this round.
@@ -32,6 +68,13 @@ class Engine {
   // Returns one entry per successful reception.
   std::vector<Reception> Step(const std::vector<std::size_t>& transmitters,
                               const std::vector<std::size_t>& listeners) const;
+
+  // Allocation-free variant: clears `out` and appends receptions into it.
+  // Reuses internal scratch buffers across rounds — a single Engine must
+  // not run concurrent Steps from multiple threads.
+  void StepInto(std::span<const std::size_t> transmitters,
+                std::span<const std::size_t> listeners,
+                std::vector<Reception>& out) const;
 
   // SINR of transmitter `v` at listener `u` under transmitter set T.
   double Sinr(std::size_t v, std::size_t u,
@@ -43,18 +86,90 @@ class Engine {
 
   const Network& net() const { return *net_; }
 
+  // The resolved strategy (never kAuto).
+  Mode mode() const { return mode_; }
+  const Options& options() const { return options_; }
+
   // Cumulative counters (diagnostics for benches).
   struct Stats {
     std::int64_t rounds = 0;
     std::int64_t transmissions = 0;
     std::int64_t receptions = 0;
+    // Grid mode only: listeners rejected by interference bounds alone vs
+    // listeners resolved by the exact fallback loop.
+    std::int64_t grid_pruned = 0;
+    std::int64_t grid_exact_fallbacks = 0;
   };
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // Counters accumulate through const Steps (they are diagnostics, not
+  // logical state), so resetting them is const as well.
+  void ResetStats() const { stats_ = {}; }
 
  private:
+  void StepExact(std::span<const std::size_t> transmitters,
+                 std::span<const std::size_t> listeners,
+                 std::vector<Reception>& out) const;
+  void StepGrid(std::span<const std::size_t> transmitters,
+                std::span<const std::size_t> listeners,
+                std::vector<Reception>& out) const;
+  // The exact per-listener inner loop, shared by kExact mode and kGrid's
+  // fallback for models without a devirtualized kernel; appends to `out`
+  // on success.
+  void ResolveExact(std::size_t u, std::span<const std::size_t> transmitters,
+                    std::vector<Reception>& out) const;
+  // kGrid's batched exact fallback for the pure path-loss model: resolves
+  // all deferred listeners tile by tile, sweeping each tile group's
+  // far-field transmitter ranges once per kChunk-listener chunk (kChunk is
+  // defined in engine.cc; one AVX-512 register of lanes). Near-threshold
+  // SINRs are re-resolved over `transmitters` with the scalar kernel so
+  // the reception set is host-invariant.
+  void ResolveFallbacksBlocked(std::span<const std::size_t> transmitters,
+                               std::vector<Reception>& out) const;
+
   const Network* net_;
+  Options options_;
+  Mode mode_ = Mode::kExact;
   mutable Stats stats_;
+
+  // --- Grid-mode state (unused in kExact). ---
+  std::optional<SpatialGrid> grid_;
+  double near_radius_ = 0.0;  // exact-scan distance
+  double far_start_ = 0.0;    // beyond this, tiles share per-listener-tile bounds
+  // Set iff the network's model is exactly PathLossModel: the grid hot
+  // loops then inline PathLossModel::GainD2 instead of dispatching through
+  // the virtual GainFromDistanceSq per link.
+  const PathLossModel* pure_path_loss_ = nullptr;
+
+  // Per-round scratch, reused across Steps (see StepInto threading note).
+  mutable std::vector<char> is_tx_;
+  mutable std::vector<std::size_t> tx_start_;    // CSR offsets per tile
+  mutable std::vector<std::size_t> tx_fill_;     // scatter cursors
+  mutable std::vector<std::size_t> tx_members_;  // transmitters by tile
+  // Transmitter positions in tile (CSR) order, parallel to tx_members_.
+  mutable std::vector<double> tx_sx_;
+  mutable std::vector<double> tx_sy_;
+  mutable std::vector<int> occupied_tx_;         // tiles with >= 1 transmitter
+  // Listeners deferred to the exact fallback, with their phase-A partials.
+  struct GridFallback {
+    std::uint32_t tile = 0;     // listener tile (phase-B grouping key)
+    std::uint32_t ordinal = 0;  // position in the listeners span
+    std::size_t u = 0;
+    double close_sum = 0.0;   // exact near+mid interference
+    double close_best = -1.0; // strongest near/mid gain...
+    std::size_t close_best_v = 0;  // ...and its transmitter
+  };
+  mutable std::vector<GridFallback> fallback_;
+  mutable std::vector<std::pair<std::uint32_t, Reception>> pending_;
+  mutable std::vector<std::pair<std::size_t, std::size_t>> far_ranges_;
+  // Per-listener-tile round cache: shared far-field bounds plus the list of
+  // close (near/mid) transmitter tiles.
+  mutable std::vector<std::uint64_t> tile_stamp_;
+  mutable std::vector<double> tile_far_lo_;
+  mutable std::vector<double> tile_far_ub_;
+  mutable std::vector<std::uint32_t> tile_close_begin_;
+  mutable std::vector<std::uint32_t> tile_close_end_;
+  mutable std::vector<int> close_pool_;
+  mutable std::uint64_t round_stamp_ = 0;
 };
 
 }  // namespace dcc::sinr

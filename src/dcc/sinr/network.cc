@@ -1,20 +1,23 @@
 #include "dcc/sinr/network.h"
 
-#include "dcc/common/rng.h"
-
 #include <algorithm>
-#include <cmath>
 #include <queue>
 
 namespace dcc::sinr {
 
 Network::Network(std::vector<Vec2> positions, std::vector<NodeId> ids,
                  Params params, Shadowing shadowing)
+    : Network(std::move(positions), std::move(ids), params,
+              MakeDefaultModel(params, shadowing)) {}
+
+Network::Network(std::vector<Vec2> positions, std::vector<NodeId> ids,
+                 Params params,
+                 std::shared_ptr<const PropagationModel> model)
     : pos_(std::move(positions)),
       ids_(std::move(ids)),
       params_(params),
-      shadowing_(shadowing) {
-  DCC_REQUIRE(shadowing_.spread >= 0.0, "Network: shadowing spread >= 0");
+      model_(std::move(model)) {
+  DCC_REQUIRE(model_ != nullptr, "Network: propagation model must be non-null");
   params_.Validate();
   DCC_REQUIRE(pos_.size() == ids_.size(),
               "Network: positions and ids must have equal length");
@@ -53,23 +56,7 @@ std::size_t Network::IndexOf(NodeId id) const {
 
 double Network::ComputeGain(std::size_t i, std::size_t j) const {
   if (i == j) return 0.0;
-  const double d = Distance(i, j);
-  // Co-located nodes would have infinite gain; the model places distinct
-  // nodes at distinct points. Clamp to a tiny distance defensively.
-  const double dd = std::max(d, 1e-9);
-  double g = params_.power / std::pow(dd, params_.alpha);
-  if (shadowing_.spread > 0.0) {
-    // Symmetric, per-unordered-link, log-uniform in
-    // [1/(1+spread), 1+spread].
-    const std::uint64_t lo = ids_[std::min(i, j)];
-    const std::uint64_t hi = ids_[std::max(i, j)];
-    const double u = static_cast<double>(
-                         HashWords(shadowing_.seed, lo, hi) >> 11) *
-                     0x1.0p-53;  // [0, 1)
-    const double log_span = std::log(1.0 + shadowing_.spread);
-    g *= std::exp((2.0 * u - 1.0) * log_span);
-  }
-  return g;
+  return model_->Gain(pos_[i], pos_[j], ids_[i], ids_[j]);
 }
 
 const std::vector<std::vector<std::size_t>>& Network::CommGraph() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -15,6 +16,7 @@
 #include "dcc/common/geometry.h"
 #include "dcc/common/types.h"
 #include "dcc/sinr/params.h"
+#include "dcc/sinr/propagation.h"
 
 namespace dcc::sinr {
 
@@ -22,6 +24,8 @@ namespace dcc::sinr {
 // perturbation, log-uniform in [1/(1+spread), 1+spread], seeded and
 // symmetric. Models the idealized-SINR / real-radio gap (obstacles,
 // antenna variation) while keeping runs reproducible. spread = 0 disables.
+// (Convenience wrapper over LogUniformShadowingModel; pass a model directly
+// for anything beyond that.)
 struct Shadowing {
   double spread = 0.0;
   std::uint64_t seed = 0;
@@ -33,6 +37,10 @@ class Network {
   // must have equal length.
   Network(std::vector<Vec2> positions, std::vector<NodeId> ids, Params params,
           Shadowing shadowing = {});
+
+  // Same, with an explicit propagation model (must be non-null).
+  Network(std::vector<Vec2> positions, std::vector<NodeId> ids, Params params,
+          std::shared_ptr<const PropagationModel> model);
 
   // Assigns IDs 1..n in position order (convenience for tests/workloads).
   static Network WithSequentialIds(std::vector<Vec2> positions, Params params);
@@ -52,13 +60,17 @@ class Network {
     return Dist(pos_[i], pos_[j]);
   }
 
-  // Received power at j of a transmission from i: P / d(i,j)^alpha.
+  // Received power at j of a transmission from i, as defined by the
+  // propagation model (P / d(i,j)^alpha for the default path-loss model).
   // Precomputed into a dense matrix for n <= kGainMatrixLimit, otherwise
   // computed on the fly.
   double Gain(std::size_t i, std::size_t j) const {
     if (!gain_.empty()) return gain_[i * pos_.size() + j];
     return ComputeGain(i, j);
   }
+
+  // The propagation model gains are computed under.
+  const PropagationModel& propagation() const { return *model_; }
 
   // --- Communication graph: edges {u,v} with d(u,v) <= 1 - eps. ---
   const std::vector<std::vector<std::size_t>>& CommGraph() const;
@@ -83,15 +95,13 @@ class Network {
 
   static constexpr std::size_t kGainMatrixLimit = 2048;
 
-  const Shadowing& shadowing() const { return shadowing_; }
-
  private:
   double ComputeGain(std::size_t i, std::size_t j) const;
 
   std::vector<Vec2> pos_;
   std::vector<NodeId> ids_;
   Params params_;
-  Shadowing shadowing_;
+  std::shared_ptr<const PropagationModel> model_;
   std::unordered_map<NodeId, std::size_t> index_of_;
   std::vector<double> gain_;  // dense n*n when n <= kGainMatrixLimit
   mutable std::vector<std::vector<std::size_t>> comm_graph_;  // lazy

@@ -1,0 +1,216 @@
+// Grid-indexed Engine::Step must reproduce the exact-mode oracle: same
+// receptions (listener, sender) with the same SINR values, on randomized
+// networks with and without shadowing, across transmitter densities and
+// forced tile sizes. Also pins down that Engine::Stats counters survived
+// the layered-engine refactor.
+#include "dcc/sinr/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dcc/sinr/propagation.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc::sinr {
+namespace {
+
+struct Scenario {
+  int n;
+  double side;
+  double shadowing_spread;
+  int tx_period;  // every tx_period-th node transmits
+  double cell;    // grid tile size; 0 = auto
+};
+
+void SplitTxListeners(std::size_t n, int period,
+                      std::vector<std::size_t>& tx,
+                      std::vector<std::size_t>& listeners) {
+  tx.clear();
+  listeners.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % static_cast<std::size_t>(period) == 0) {
+      tx.push_back(i);
+    } else {
+      listeners.push_back(i);
+    }
+  }
+}
+
+void ExpectSameReceptions(const std::vector<Reception>& exact,
+                          const std::vector<Reception>& grid,
+                          std::size_t n_tx, const std::string& label) {
+  ASSERT_EQ(exact.size(), grid.size()) << label;
+  for (std::size_t k = 0; k < exact.size(); ++k) {
+    EXPECT_EQ(exact[k].listener, grid[k].listener) << label << " k=" << k;
+    EXPECT_EQ(exact[k].sender, grid[k].sender) << label << " k=" << k;
+    // Grid mode's devirtualized gain kernel may reassociate floating-point
+    // operations: SINR values agree to >= 9 significant digits, except that
+    // at extreme SINRs the `total - best` interference subtraction
+    // amplifies summation-order noise by ~sinr (in both modes), hence the
+    // eps * |T| * sinr cancellation term.
+    const double s = exact[k].sinr;
+    const double tol =
+        s * (1e-9 + std::numeric_limits<double>::epsilon() *
+                        static_cast<double>(n_tx) * s);
+    EXPECT_NEAR(s, grid[k].sinr, tol) << label << " k=" << k;
+  }
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(EngineEquivalence, GridReproducesExactReceptions) {
+  const Scenario sc = GetParam();
+  Params params = Params::Default();
+  params.id_space = 1 << 16;
+  auto pts = workload::UniformSquare(sc.n, sc.side, /*seed=*/17 + sc.n);
+  std::vector<NodeId> ids(pts.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<NodeId>(2 * i + 3);  // non-sequential ids
+  }
+  const Network net(pts, ids, params,
+                    Shadowing{sc.shadowing_spread, /*seed=*/99});
+
+  const Engine exact(net, {.mode = Engine::Mode::kExact});
+  const Engine grid(net, {.mode = Engine::Mode::kGrid, .cell = sc.cell});
+  ASSERT_EQ(exact.mode(), Engine::Mode::kExact);
+  ASSERT_EQ(grid.mode(), Engine::Mode::kGrid);
+
+  std::vector<std::size_t> tx, listeners;
+  SplitTxListeners(net.size(), sc.tx_period, tx, listeners);
+  const auto label = ::testing::PrintToString(sc.n) + "/" +
+                     ::testing::PrintToString(sc.tx_period);
+  ExpectSameReceptions(exact.Step(tx, listeners), grid.Step(tx, listeners),
+                       tx.size(), label);
+
+  // And on a second, sparser round with the same engines (scratch reuse).
+  SplitTxListeners(net.size(), 4 * sc.tx_period, tx, listeners);
+  ExpectSameReceptions(exact.Step(tx, listeners), grid.Step(tx, listeners),
+                       tx.size(), label + " round2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, EngineEquivalence,
+    ::testing::Values(
+        // No shadowing, dense and sparse transmitter sets, auto tile size.
+        Scenario{200, 14.0, 0.0, 2, 0.0}, Scenario{200, 14.0, 0.0, 16, 0.0},
+        // Forced tiny tiles exercise multi-tile classification at small n.
+        Scenario{150, 12.0, 0.0, 4, 1.0},
+        // Shadowed gains widen the envelope bounds; both densities.
+        Scenario{200, 14.0, 0.5, 2, 0.0}, Scenario{200, 14.0, 0.25, 8, 1.5},
+        // Dense network (clustered interference) and a sparse one.
+        Scenario{300, 8.0, 0.0, 4, 0.0}, Scenario{100, 40.0, 0.0, 4, 2.0}));
+
+TEST(EngineEquivalenceTest, LargeNetworkBeyondGainMatrix) {
+  // Above Network::kGainMatrixLimit gains are computed on the fly and
+  // kAuto resolves to kGrid; compare against the forced-exact oracle.
+  Params params = Params::Default();
+  params.id_space = 1 << 16;
+  auto pts = workload::UniformSquare(2500, 50.0, 7);
+  const Network net = Network::WithSequentialIds(std::move(pts), params);
+  ASSERT_GT(net.size(), Network::kGainMatrixLimit);
+
+  const Engine exact(net, {.mode = Engine::Mode::kExact});
+  const Engine automatic(net);  // defaults: kAuto
+  ASSERT_EQ(automatic.mode(), Engine::Mode::kGrid);
+
+  std::vector<std::size_t> tx, listeners;
+  SplitTxListeners(net.size(), 8, tx, listeners);
+  ExpectSameReceptions(exact.Step(tx, listeners),
+                       automatic.Step(tx, listeners), tx.size(), "large");
+}
+
+TEST(EngineEquivalenceTest, TheoryModelEquivalence) {
+  // The truncated theory-mode propagation has a discontinuous envelope;
+  // grid pruning must stay sound across the cutoff.
+  Params params = Params::Default();
+  auto pts = workload::UniformSquare(200, 14.0, 23);
+  std::vector<NodeId> ids(pts.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NodeId>(i + 1);
+  const Network net(pts, ids, params,
+                    std::make_shared<TheoryModel>(params, /*cutoff=*/4.0));
+
+  const Engine exact(net, {.mode = Engine::Mode::kExact});
+  const Engine grid(net, {.mode = Engine::Mode::kGrid, .cell = 1.0});
+  std::vector<std::size_t> tx, listeners;
+  SplitTxListeners(net.size(), 4, tx, listeners);
+  ExpectSameReceptions(exact.Step(tx, listeners), grid.Step(tx, listeners),
+                       tx.size(), "theory");
+}
+
+TEST(EngineEquivalenceTest, StepIntoMatchesStepAndReusesBuffer) {
+  Params params = Params::Default();
+  auto pts = workload::UniformSquare(120, 9.0, 31);
+  const Network net = Network::WithSequentialIds(std::move(pts), params);
+  const Engine eng(net, {.mode = Engine::Mode::kGrid});
+
+  std::vector<std::size_t> tx, listeners;
+  SplitTxListeners(net.size(), 3, tx, listeners);
+  const auto from_step = eng.Step(tx, listeners);
+
+  std::vector<Reception> out;
+  out.reserve(net.size());
+  const auto* data_before = out.data();
+  eng.StepInto(tx, listeners, out);
+  ASSERT_EQ(out.size(), from_step.size());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_EQ(out[k].listener, from_step[k].listener);
+    EXPECT_EQ(out[k].sender, from_step[k].sender);
+  }
+  // A second call must reuse the buffer, not reallocate.
+  eng.StepInto(tx, listeners, out);
+  EXPECT_EQ(out.data(), data_before);
+}
+
+TEST(EngineEquivalenceTest, StatsCountersSurviveRefactor) {
+  // Regression: the refactored engine keeps the legacy counter semantics —
+  // rounds counts Step calls (even empty ones), transmissions sums |T|,
+  // receptions sums successful deliveries — in both modes.
+  Params params = Params::Default();
+  auto pts = workload::UniformSquare(150, 10.0, 41);
+  const Network net = Network::WithSequentialIds(std::move(pts), params);
+
+  for (const auto mode : {Engine::Mode::kExact, Engine::Mode::kGrid}) {
+    Engine eng(net, {.mode = mode});
+    std::vector<std::size_t> tx, listeners;
+    SplitTxListeners(net.size(), 10, tx, listeners);
+    const auto recs1 = eng.Step(tx, listeners);
+    const auto recs2 = eng.Step({0}, {1, 2, 3});
+    eng.Step({}, {});  // counted as a round, no transmissions
+    EXPECT_EQ(eng.stats().rounds, 3);
+    EXPECT_EQ(eng.stats().transmissions,
+              static_cast<std::int64_t>(tx.size()) + 1);
+    EXPECT_EQ(eng.stats().receptions,
+              static_cast<std::int64_t>(recs1.size() + recs2.size()));
+    eng.ResetStats();
+    EXPECT_EQ(eng.stats().rounds, 0);
+    EXPECT_EQ(eng.stats().transmissions, 0);
+    EXPECT_EQ(eng.stats().receptions, 0);
+  }
+
+  // Grid mode accounts every listener as either pruned or exact-resolved.
+  Engine grid(net, {.mode = Engine::Mode::kGrid});
+  std::vector<std::size_t> tx, listeners;
+  SplitTxListeners(net.size(), 5, tx, listeners);
+  grid.Step(tx, listeners);
+  EXPECT_EQ(grid.stats().grid_pruned + grid.stats().grid_exact_fallbacks,
+            static_cast<std::int64_t>(listeners.size()));
+}
+
+TEST(EngineEquivalenceTest, ExactModeHasIdenticalLegacyBehavior) {
+  // The deterministic boundary case from engine_test must hold in grid mode
+  // too: a lone transmitter is received at distance exactly 1 (SINR == beta)
+  // and not at 1.01.
+  std::vector<Vec2> pts{{0, 0}, {0.5, 0}, {1.0, 0}, {1.01, 0}};
+  const Network net = Network::WithSequentialIds(pts, Params::Default());
+  const Engine grid(net, {.mode = Engine::Mode::kGrid, .cell = 0.5});
+  const auto recs = grid.Step({0}, {1, 2, 3});
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].listener, 1u);
+  EXPECT_EQ(recs[1].listener, 2u);
+}
+
+}  // namespace
+}  // namespace dcc::sinr

@@ -1,0 +1,110 @@
+#include "dcc/common/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dcc/common/rng.h"
+
+namespace dcc {
+namespace {
+
+std::vector<Vec2> RandomPoints(int n, double side, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({side * rng.NextDouble(), side * rng.NextDouble()});
+  }
+  return pts;
+}
+
+TEST(SpatialGridTest, MembersPartitionThePointSet) {
+  const auto pts = RandomPoints(200, 10.0, 1);
+  const SpatialGrid grid(pts, 1.5);
+  std::vector<char> seen(pts.size(), 0);
+  std::size_t total = 0;
+  for (int t = 0; t < grid.tile_count(); ++t) {
+    for (const std::size_t i : grid.Members(t)) {
+      EXPECT_EQ(grid.TileOfPoint(i), t);
+      EXPECT_FALSE(seen[i]);
+      seen[i] = 1;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(SpatialGridTest, OccupiedListsExactlyNonEmptyTiles) {
+  const auto pts = RandomPoints(64, 8.0, 2);
+  const SpatialGrid grid(pts, 2.0);
+  std::vector<int> expect;
+  for (int t = 0; t < grid.tile_count(); ++t) {
+    if (!grid.Members(t).empty()) expect.push_back(t);
+  }
+  EXPECT_EQ(grid.occupied(), expect);
+}
+
+TEST(SpatialGridTest, PointToTileBoundsAreSound) {
+  const auto pts = RandomPoints(300, 12.0, 3);
+  const SpatialGrid grid(pts, 1.0);
+  const auto probes = RandomPoints(20, 14.0, 4);
+  for (const Vec2 p : probes) {
+    for (const int t : grid.occupied()) {
+      const double lo = grid.DistLo(p, t);
+      const double hi = grid.DistHi(p, t);
+      for (const std::size_t i : grid.Members(t)) {
+        const double d = Dist(p, pts[i]);
+        EXPECT_LE(lo, d + 1e-12);
+        EXPECT_GE(hi, d - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(SpatialGridTest, TileToTileBoundsAreSound) {
+  const auto pts = RandomPoints(300, 12.0, 5);
+  const SpatialGrid grid(pts, 1.3);
+  for (const int a : grid.occupied()) {
+    for (const int b : grid.occupied()) {
+      const double lo = grid.TileDistLo(a, b);
+      const double hi = grid.TileDistHi(a, b);
+      for (const std::size_t i : grid.Members(a)) {
+        for (const std::size_t j : grid.Members(b)) {
+          const double d = Dist(pts[i], pts[j]);
+          EXPECT_LE(lo, d + 1e-12);
+          EXPECT_GE(hi, d - 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(SpatialGridTest, DegenerateSets) {
+  // Empty set: one tile, no members.
+  const SpatialGrid empty(std::span<const Vec2>{}, 1.0);
+  EXPECT_EQ(empty.tile_count(), 1);
+  EXPECT_TRUE(empty.occupied().empty());
+
+  // Co-located points land in the same tile.
+  std::vector<Vec2> same(5, Vec2{3.0, -2.0});
+  const SpatialGrid grid(same, 0.7);
+  EXPECT_EQ(grid.tile_count(), 1);
+  EXPECT_EQ(grid.Members(0).size(), 5u);
+
+  // Collinear points: a 1-row grid.
+  std::vector<Vec2> line;
+  for (int i = 0; i < 10; ++i) line.push_back({static_cast<double>(i), 0.0});
+  const SpatialGrid lg(line, 1.0);
+  EXPECT_EQ(lg.ny(), 1);
+  EXPECT_GE(lg.nx(), 10);
+}
+
+TEST(SpatialGridTest, RejectsNonPositiveCell) {
+  const auto pts = RandomPoints(4, 1.0, 6);
+  EXPECT_THROW(SpatialGrid(pts, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcc
