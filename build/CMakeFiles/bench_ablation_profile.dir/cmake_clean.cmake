@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_profile.dir/bench/bench_ablation_profile.cc.o"
+  "CMakeFiles/bench_ablation_profile.dir/bench/bench_ablation_profile.cc.o.d"
+  "bench_ablation_profile"
+  "bench_ablation_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustering_scaling.dir/bench/bench_clustering_scaling.cc.o"
+  "CMakeFiles/bench_clustering_scaling.dir/bench/bench_clustering_scaling.cc.o.d"
+  "bench_clustering_scaling"
+  "bench_clustering_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustering_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_broadcast_phases.dir/bench/bench_fig1_broadcast_phases.cc.o"
+  "CMakeFiles/bench_fig1_broadcast_phases.dir/bench/bench_fig1_broadcast_phases.cc.o.d"
+  "bench_fig1_broadcast_phases"
+  "bench_fig1_broadcast_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_broadcast_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sparsification.dir/bench/bench_fig3_sparsification.cc.o"
+  "CMakeFiles/bench_fig3_sparsification.dir/bench/bench_fig3_sparsification.cc.o.d"
+  "bench_fig3_sparsification"
+  "bench_fig3_sparsification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sparsification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_full_sparsification.dir/bench/bench_fig4_full_sparsification.cc.o"
+  "CMakeFiles/bench_fig4_full_sparsification.dir/bench/bench_fig4_full_sparsification.cc.o.d"
+  "bench_fig4_full_sparsification"
+  "bench_fig4_full_sparsification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_full_sparsification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selectors.dir/bench/bench_selectors.cc.o"
+  "CMakeFiles/bench_selectors.dir/bench/bench_selectors.cc.o.d"
+  "bench_selectors"
+  "bench_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_global_broadcast.dir/bench/bench_table2_global_broadcast.cc.o"
+  "CMakeFiles/bench_table2_global_broadcast.dir/bench/bench_table2_global_broadcast.cc.o.d"
+  "bench_table2_global_broadcast"
+  "bench_table2_global_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_global_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcc/baselines/decay_global.cc" "CMakeFiles/dcc.dir/src/dcc/baselines/decay_global.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/baselines/decay_global.cc.o.d"
+  "/root/repo/src/dcc/baselines/grid_tdma.cc" "CMakeFiles/dcc.dir/src/dcc/baselines/grid_tdma.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/baselines/grid_tdma.cc.o.d"
+  "/root/repo/src/dcc/baselines/rand_local.cc" "CMakeFiles/dcc.dir/src/dcc/baselines/rand_local.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/baselines/rand_local.cc.o.d"
+  "/root/repo/src/dcc/baselines/tdma.cc" "CMakeFiles/dcc.dir/src/dcc/baselines/tdma.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/baselines/tdma.cc.o.d"
+  "/root/repo/src/dcc/bcast/leader_election.cc" "CMakeFiles/dcc.dir/src/dcc/bcast/leader_election.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/bcast/leader_election.cc.o.d"
+  "/root/repo/src/dcc/bcast/local_broadcast.cc" "CMakeFiles/dcc.dir/src/dcc/bcast/local_broadcast.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/bcast/local_broadcast.cc.o.d"
+  "/root/repo/src/dcc/bcast/smsb.cc" "CMakeFiles/dcc.dir/src/dcc/bcast/smsb.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/bcast/smsb.cc.o.d"
+  "/root/repo/src/dcc/bcast/sns.cc" "CMakeFiles/dcc.dir/src/dcc/bcast/sns.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/bcast/sns.cc.o.d"
+  "/root/repo/src/dcc/bcast/wakeup.cc" "CMakeFiles/dcc.dir/src/dcc/bcast/wakeup.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/bcast/wakeup.cc.o.d"
+  "/root/repo/src/dcc/cluster/clustering.cc" "CMakeFiles/dcc.dir/src/dcc/cluster/clustering.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/cluster/clustering.cc.o.d"
+  "/root/repo/src/dcc/cluster/full_sparsify.cc" "CMakeFiles/dcc.dir/src/dcc/cluster/full_sparsify.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/cluster/full_sparsify.cc.o.d"
+  "/root/repo/src/dcc/cluster/labeling.cc" "CMakeFiles/dcc.dir/src/dcc/cluster/labeling.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/cluster/labeling.cc.o.d"
+  "/root/repo/src/dcc/cluster/profile.cc" "CMakeFiles/dcc.dir/src/dcc/cluster/profile.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/cluster/profile.cc.o.d"
+  "/root/repo/src/dcc/cluster/proximity.cc" "CMakeFiles/dcc.dir/src/dcc/cluster/proximity.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/cluster/proximity.cc.o.d"
+  "/root/repo/src/dcc/cluster/radius_reduction.cc" "CMakeFiles/dcc.dir/src/dcc/cluster/radius_reduction.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/cluster/radius_reduction.cc.o.d"
+  "/root/repo/src/dcc/cluster/sparsify.cc" "CMakeFiles/dcc.dir/src/dcc/cluster/sparsify.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/cluster/sparsify.cc.o.d"
+  "/root/repo/src/dcc/cluster/validate.cc" "CMakeFiles/dcc.dir/src/dcc/cluster/validate.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/cluster/validate.cc.o.d"
+  "/root/repo/src/dcc/common/geometry.cc" "CMakeFiles/dcc.dir/src/dcc/common/geometry.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/common/geometry.cc.o.d"
+  "/root/repo/src/dcc/common/math_util.cc" "CMakeFiles/dcc.dir/src/dcc/common/math_util.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/common/math_util.cc.o.d"
+  "/root/repo/src/dcc/common/spatial_grid.cc" "CMakeFiles/dcc.dir/src/dcc/common/spatial_grid.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/common/spatial_grid.cc.o.d"
+  "/root/repo/src/dcc/common/table.cc" "CMakeFiles/dcc.dir/src/dcc/common/table.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/common/table.cc.o.d"
+  "/root/repo/src/dcc/lowerbound/adversary.cc" "CMakeFiles/dcc.dir/src/dcc/lowerbound/adversary.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/lowerbound/adversary.cc.o.d"
+  "/root/repo/src/dcc/lowerbound/gadget.cc" "CMakeFiles/dcc.dir/src/dcc/lowerbound/gadget.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/lowerbound/gadget.cc.o.d"
+  "/root/repo/src/dcc/mis/linial.cc" "CMakeFiles/dcc.dir/src/dcc/mis/linial.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/mis/linial.cc.o.d"
+  "/root/repo/src/dcc/mis/local_mis.cc" "CMakeFiles/dcc.dir/src/dcc/mis/local_mis.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/mis/local_mis.cc.o.d"
+  "/root/repo/src/dcc/sel/ssf.cc" "CMakeFiles/dcc.dir/src/dcc/sel/ssf.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sel/ssf.cc.o.d"
+  "/root/repo/src/dcc/sel/verify.cc" "CMakeFiles/dcc.dir/src/dcc/sel/verify.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sel/verify.cc.o.d"
+  "/root/repo/src/dcc/sel/wcss.cc" "CMakeFiles/dcc.dir/src/dcc/sel/wcss.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sel/wcss.cc.o.d"
+  "/root/repo/src/dcc/sel/wss.cc" "CMakeFiles/dcc.dir/src/dcc/sel/wss.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sel/wss.cc.o.d"
+  "/root/repo/src/dcc/sim/runner.cc" "CMakeFiles/dcc.dir/src/dcc/sim/runner.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sim/runner.cc.o.d"
+  "/root/repo/src/dcc/sim/schedule.cc" "CMakeFiles/dcc.dir/src/dcc/sim/schedule.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sim/schedule.cc.o.d"
+  "/root/repo/src/dcc/sinr/engine.cc" "CMakeFiles/dcc.dir/src/dcc/sinr/engine.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sinr/engine.cc.o.d"
+  "/root/repo/src/dcc/sinr/network.cc" "CMakeFiles/dcc.dir/src/dcc/sinr/network.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sinr/network.cc.o.d"
+  "/root/repo/src/dcc/sinr/params.cc" "CMakeFiles/dcc.dir/src/dcc/sinr/params.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sinr/params.cc.o.d"
+  "/root/repo/src/dcc/sinr/propagation.cc" "CMakeFiles/dcc.dir/src/dcc/sinr/propagation.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/sinr/propagation.cc.o.d"
+  "/root/repo/src/dcc/stats/recorder.cc" "CMakeFiles/dcc.dir/src/dcc/stats/recorder.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/stats/recorder.cc.o.d"
+  "/root/repo/src/dcc/workload/generators.cc" "CMakeFiles/dcc.dir/src/dcc/workload/generators.cc.o" "gcc" "CMakeFiles/dcc.dir/src/dcc/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_election_demo.dir/examples/leader_election_demo.cpp.o"
+  "CMakeFiles/leader_election_demo.dir/examples/leader_election_demo.cpp.o.d"
+  "leader_election_demo"
+  "leader_election_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_election_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_broadcast_test.dir/tests/local_broadcast_test.cc.o"
+  "CMakeFiles/local_broadcast_test.dir/tests/local_broadcast_test.cc.o.d"
+  "local_broadcast_test"
+  "local_broadcast_test.pdb"
+  "local_broadcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_explorer.dir/examples/lower_bound_explorer.cpp.o"
+  "CMakeFiles/lower_bound_explorer.dir/examples/lower_bound_explorer.cpp.o.d"
+  "lower_bound_explorer"
+  "lower_bound_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

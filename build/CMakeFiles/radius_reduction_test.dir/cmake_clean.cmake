@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_reduction_test.dir/tests/radius_reduction_test.cc.o"
+  "CMakeFiles/radius_reduction_test.dir/tests/radius_reduction_test.cc.o.d"
+  "radius_reduction_test"
+  "radius_reduction_test.pdb"
+  "radius_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_playground.dir/examples/selector_playground.cpp.o"
+  "CMakeFiles/selector_playground.dir/examples/selector_playground.cpp.o.d"
+  "selector_playground"
+  "selector_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_field_broadcast.dir/examples/sensor_field_broadcast.cpp.o"
+  "CMakeFiles/sensor_field_broadcast.dir/examples/sensor_field_broadcast.cpp.o.d"
+  "sensor_field_broadcast"
+  "sensor_field_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_field_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadowing_test.dir/tests/shadowing_test.cc.o"
+  "CMakeFiles/shadowing_test.dir/tests/shadowing_test.cc.o.d"
+  "shadowing_test"
+  "shadowing_test.pdb"
+  "shadowing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadowing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smsb_test.dir/tests/smsb_test.cc.o"
+  "CMakeFiles/smsb_test.dir/tests/smsb_test.cc.o.d"
+  "smsb_test"
+  "smsb_test.pdb"
+  "smsb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smsb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

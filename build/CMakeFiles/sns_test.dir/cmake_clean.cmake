@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_test.dir/tests/sns_test.cc.o"
+  "CMakeFiles/sns_test.dir/tests/sns_test.cc.o.d"
+  "sns_test"
+  "sns_test.pdb"
+  "sns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsify_test.dir/tests/sparsify_test.cc.o"
+  "CMakeFiles/sparsify_test.dir/tests/sparsify_test.cc.o.d"
+  "sparsify_test"
+  "sparsify_test.pdb"
+  "sparsify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_grid_test.dir/tests/spatial_grid_test.cc.o"
+  "CMakeFiles/spatial_grid_test.dir/tests/spatial_grid_test.cc.o.d"
+  "spatial_grid_test"
+  "spatial_grid_test.pdb"
+  "spatial_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssf_test.dir/tests/ssf_test.cc.o"
+  "CMakeFiles/ssf_test.dir/tests/ssf_test.cc.o.d"
+  "ssf_test"
+  "ssf_test.pdb"
+  "ssf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_mode_test.dir/tests/theory_mode_test.cc.o"
+  "CMakeFiles/theory_mode_test.dir/tests/theory_mode_test.cc.o.d"
+  "theory_mode_test"
+  "theory_mode_test.pdb"
+  "theory_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

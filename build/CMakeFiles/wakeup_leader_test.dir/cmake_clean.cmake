@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wakeup_leader_test.dir/tests/wakeup_leader_test.cc.o"
+  "CMakeFiles/wakeup_leader_test.dir/tests/wakeup_leader_test.cc.o.d"
+  "wakeup_leader_test"
+  "wakeup_leader_test.pdb"
+  "wakeup_leader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wakeup_leader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcss_test.dir/tests/wcss_test.cc.o"
+  "CMakeFiles/wcss_test.dir/tests/wcss_test.cc.o.d"
+  "wcss_test"
+  "wcss_test.pdb"
+  "wcss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_test.dir/tests/wss_test.cc.o"
+  "CMakeFiles/wss_test.dir/tests/wss_test.cc.o.d"
+  "wss_test"
+  "wss_test.pdb"
+  "wss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
