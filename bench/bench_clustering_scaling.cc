@@ -4,11 +4,23 @@
 // N (rounds/Gamma should stay within a logarithmic band) and N at fixed
 // Gamma (rounds should grow ~log N), and validate every produced
 // clustering geometrically.
+//
+// Ported onto the scenario layer: each cell is a ScenarioSpec (with the
+// legacy seed/nonce pinned, so the measured round counts match the
+// pre-port bench exactly) and the table reads the RunReport metrics.
 #include "bench_common.h"
-#include "dcc/cluster/clustering.h"
+#include "dcc/scenario/scenario.h"
 
 namespace dcc {
 namespace {
+
+scenario::ScenarioSpec BaseSpec() {
+  scenario::ScenarioSpec spec;
+  spec.algo = "clustering";
+  spec.sinr.id_space = 1 << 12;
+  spec.engine = sinr::Engine::Options::FromEnv();
+  return spec;
+}
 
 void Run() {
   bench::Banner("Clustering scaling (Theorem 1)",
@@ -18,27 +30,23 @@ void Run() {
 
   std::cout << "-- Gamma sweep (N = 4096, fixed area) --\n";
   {
-    sinr::Params params = sinr::Params::Default();
-    params.id_space = 1 << 12;
-    const auto prof = cluster::Profile::Practical(params.id_space);
     Table t({"n", "Gamma", "rounds", "rounds/Gamma", "clusters", "valid"});
     for (const int n : {48, 96, 192, 288, 384}) {
-      auto pts = workload::UniformSquare(n, 5.0, 7 + n);
-      const auto net = workload::MakeNetwork(pts, params, 3 + n);
-      const auto all = bench::AllIndices(net);
-      const int gamma = cluster::SubsetDensity(net, all);
-      sim::Exec ex(net, bench::EngineOptionsFromEnv());
-      const auto res = cluster::BuildClustering(
-          ex, prof, all, gamma, static_cast<std::uint64_t>(n));
-      const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
-      t.AddRow({Table::Num(std::int64_t{n}), Table::Num(std::int64_t{gamma}),
-                Table::Num(res.rounds),
-                Table::Num(static_cast<double>(res.rounds) /
-                           std::max(gamma, 1)),
-                Table::Num(std::int64_t{chk.num_clusters}),
-                chk.ValidRClustering(1.0, params.eps) && res.unassigned == 0
-                    ? "yes"
-                    : "NO"});
+      scenario::ScenarioSpec spec = BaseSpec();
+      spec.topology_params.Set("n", std::to_string(n));
+      spec.topology_params.Set("side", "5.0");
+      spec.id_seed = static_cast<std::uint64_t>(3 + n);
+      spec.nonce = static_cast<std::uint64_t>(n);
+      const auto rep =
+          scenario::RunScenario(spec, static_cast<std::uint64_t>(7 + n));
+      const double gamma = rep.metrics.Get("gamma");
+      t.AddRow({Table::Num(std::int64_t{n}),
+                Table::Num(static_cast<std::int64_t>(gamma)),
+                Table::Num(static_cast<std::int64_t>(rep.metrics.Get("rounds"))),
+                Table::Num(rep.metrics.Get("rounds") / std::max(gamma, 1.0)),
+                Table::Num(static_cast<std::int64_t>(
+                    rep.metrics.Get("clusters"))),
+                rep.ok ? "yes" : "NO"});
     }
     t.Print(std::cout);
   }
@@ -47,22 +55,17 @@ void Run() {
   {
     Table t({"N", "rounds", "rounds/lnN", "valid"});
     for (const int logN : {10, 14, 18, 22}) {
-      sinr::Params params = sinr::Params::Default();
-      params.id_space = 1ll << logN;
-      const auto prof = cluster::Profile::Practical(params.id_space);
-      auto pts = workload::UniformSquare(128, 4.5, 77);
-      const auto net = workload::MakeNetwork(pts, params, 31);
-      const auto all = bench::AllIndices(net);
-      const int gamma = cluster::SubsetDensity(net, all);
-      sim::Exec ex(net, bench::EngineOptionsFromEnv());
-      const auto res = cluster::BuildClustering(ex, prof, all, gamma, 9);
-      const auto chk = cluster::CheckClustering(net, all, res.cluster_of);
-      t.AddRow({Table::Num(params.id_space), Table::Num(res.rounds),
-                Table::Num(static_cast<double>(res.rounds) /
-                           (0.693 * logN)),
-                chk.ValidRClustering(1.0, params.eps) && res.unassigned == 0
-                    ? "yes"
-                    : "NO"});
+      scenario::ScenarioSpec spec = BaseSpec();
+      spec.sinr.id_space = std::int64_t{1} << logN;
+      spec.topology_params.Set("n", "128");
+      spec.topology_params.Set("side", "4.5");
+      spec.id_seed = 31;
+      spec.nonce = 9;
+      const auto rep = scenario::RunScenario(spec, 77);
+      t.AddRow({Table::Num(spec.sinr.id_space),
+                Table::Num(static_cast<std::int64_t>(rep.metrics.Get("rounds"))),
+                Table::Num(rep.metrics.Get("rounds") / (0.693 * logN)),
+                rep.ok ? "yes" : "NO"});
     }
     t.Print(std::cout);
   }

@@ -1,7 +1,6 @@
 // Shared helpers for the table/figure regenerators.
 #pragma once
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,32 +19,11 @@ inline std::vector<std::size_t> AllIndices(const sinr::Network& net) {
   return all;
 }
 
-// Engine options for the regenerators, overridable without recompiling:
-//   DCC_ENGINE_MODE = exact | grid | auto   (default auto)
-//   DCC_ENGINE_CELL = <tile side>           (default: engine's heuristic)
+// Engine options for the regenerators, overridable without recompiling via
+// DCC_ENGINE_MODE / DCC_ENGINE_CELL (see sinr::Engine::Options::FromEnv;
+// malformed values are rejected, not silently defaulted).
 inline sinr::Engine::Options EngineOptionsFromEnv() {
-  sinr::Engine::Options opts;
-  if (const char* mode = std::getenv("DCC_ENGINE_MODE")) {
-    const std::string m(mode);
-    if (m == "exact") {
-      opts.mode = sinr::Engine::Mode::kExact;
-    } else if (m == "grid") {
-      opts.mode = sinr::Engine::Mode::kGrid;
-    } else if (m != "auto" && !m.empty()) {
-      std::cerr << "DCC_ENGINE_MODE: unknown mode '" << m << "', using auto\n";
-    }
-  }
-  if (const char* cell = std::getenv("DCC_ENGINE_CELL")) {
-    char* end = nullptr;
-    const double v = std::strtod(cell, &end);
-    if (end != cell && *end == '\0' && v > 0.0) {
-      opts.cell = v;
-    } else {
-      std::cerr << "DCC_ENGINE_CELL: invalid value '" << cell
-                << "', using the engine's heuristic\n";
-    }
-  }
-  return opts;
+  return sinr::Engine::Options::FromEnv();
 }
 
 inline void Banner(const std::string& title, const std::string& paper_ref,

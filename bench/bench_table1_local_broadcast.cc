@@ -13,13 +13,14 @@
 // algorithm grows ~linearly in Delta, (b) the deterministic algorithm
 // stays within a polylog factor of the randomized baselines, and (c) the
 // deterministic TDMA strawman pays Theta(N) regardless of Delta.
+//
+// Ported onto the scenario layer: one topology spec per n, one algorithm
+// registry key per table column (legacy seeds pinned — round counts match
+// the pre-port bench exactly).
 #include <cmath>
 
 #include "bench_common.h"
-#include "dcc/baselines/grid_tdma.h"
-#include "dcc/baselines/rand_local.h"
-#include "dcc/baselines/tdma.h"
-#include "dcc/bcast/local_broadcast.h"
+#include "dcc/scenario/scenario.h"
 
 namespace dcc {
 namespace {
@@ -30,48 +31,55 @@ void Run() {
                 "all rows ~linear in Delta; deterministic (this work) within "
                 "polylog of randomized; TDMA pays Theta(N)");
 
-  sinr::Params params = sinr::Params::Default();
-  params.id_space = 1 << 12;
-  const auto prof = cluster::Profile::Practical(params.id_space);
-
   Table t({"n", "Delta", "rand-known[16]", "rand-unknown[16]",
            "det+loc[22]", "tdma(N=4096)", "this-work", "det/rand",
            "coverage"});
 
   // Density sweep: same area, growing population.
-  const double side = 5.0;
   for (const int n : {48, 96, 192, 288}) {
-    auto pts = workload::UniformSquare(n, side, 1000 + n);
-    const auto net = workload::MakeNetwork(pts, params, 7 + n);
-    const auto all = bench::AllIndices(net);
-    const int delta = cluster::SubsetDensity(net, all);
+    scenario::ScenarioSpec spec;
+    spec.topology = "uniform";
+    spec.topology_params.Set("n", std::to_string(n));
+    spec.topology_params.Set("side", "5.0");
+    spec.sinr.id_space = 1 << 12;
+    spec.engine = sinr::Engine::Options::FromEnv();
+    spec.id_seed = static_cast<std::uint64_t>(7 + n);
+    const auto seed = static_cast<std::uint64_t>(1000 + n);
 
-    sim::Exec ex_rk(net, bench::EngineOptionsFromEnv());
-    const auto rk =
-        baselines::RandLocalBroadcastKnown(ex_rk, all, delta, 1.0, 24.0, 42);
+    // One run per table column, same topology, shared round clock per run.
+    const auto cell = [&](const std::string& algo,
+                          const scenario::ParamMap& params,
+                          std::uint64_t nonce) {
+      scenario::ScenarioSpec s = spec;
+      s.algo = algo;
+      s.algo_params = params;
+      s.nonce = nonce;
+      return scenario::RunScenario(s, seed);
+    };
 
-    sim::Exec ex_ru(net, bench::EngineOptionsFromEnv());
-    const auto ru = baselines::RandLocalBroadcastUnknown(ex_ru, all, 2 * delta,
-                                                         1.0, 24.0, 43);
+    scenario::ParamMap seed42;
+    seed42.Set("seed", "42");
+    const auto rk = cell("rand_local_known", seed42, 0);
+    scenario::ParamMap seed43;
+    seed43.Set("seed", "43");
+    const auto ru = cell("rand_local_unknown", seed43, 0);
+    const auto td = cell("tdma_local", {}, 0);
+    const auto gt = cell("grid_tdma", {}, 0);
+    const auto dt = cell("local_broadcast", {},
+                         static_cast<std::uint64_t>(100 + n));
 
-    sim::Exec ex_td(net, bench::EngineOptionsFromEnv());
-    const auto td = baselines::TdmaLocalBroadcast(ex_td, all);
-
-    sim::Exec ex_gt(net, bench::EngineOptionsFromEnv());
-    const auto gt = baselines::GridTdmaLocalBroadcast(ex_gt, all);
-
-    sim::Exec ex_dt(net, bench::EngineOptionsFromEnv());
-    const auto dt =
-        bcast::LocalBroadcast(ex_dt, prof, all, delta, 100 + n);
-
-    const double ratio = static_cast<double>(dt.rounds) /
-                         std::max<Round>(rk.rounds_to_cover, 1);
-    t.AddRow({Table::Num(std::int64_t{n}), Table::Num(std::int64_t{delta}),
-              Table::Num(rk.rounds_to_cover), Table::Num(ru.rounds_to_cover),
-              Table::Num(gt.rounds), Table::Num(td.rounds),
-              Table::Num(dt.rounds), Table::Num(ratio),
-              std::to_string(dt.covered_cumulative) + "/" +
-                  std::to_string(dt.members)});
+    const double ratio = dt.metrics.Get("rounds") /
+                         std::max(rk.metrics.Get("rounds_to_cover"), 1.0);
+    const auto num = [](double v) {
+      return Table::Num(static_cast<std::int64_t>(v));
+    };
+    t.AddRow({Table::Num(std::int64_t{n}), num(rk.metrics.Get("gamma")),
+              num(rk.metrics.Get("rounds_to_cover")),
+              num(ru.metrics.Get("rounds_to_cover")),
+              num(gt.metrics.Get("rounds")), num(td.metrics.Get("rounds")),
+              num(dt.metrics.Get("rounds")), Table::Num(ratio),
+              num(dt.metrics.Get("covered_cumulative")) + "/" +
+                  num(dt.metrics.Get("members"))});
   }
   t.Print(std::cout);
   std::cout << "\nnotes: rand rows report oracle-observed completion; "

@@ -1,21 +1,23 @@
-// Quickstart: build a random SINR network, run the deterministic clustering
-// (Alg. 6 / Theorem 1), and inspect the result.
+// Quickstart: run the deterministic clustering (Alg. 6 / Theorem 1) on a
+// random SINR network through the scenario layer, and inspect the report.
 //
 //   $ ./examples/quickstart [n] [side] [seed]
 //
-// Walks through the core public API:
-//   workload::MakeNetwork  -> a network instance (positions + ids + params)
-//   sim::Exec              -> the shared round clock over the SINR engine
-//   cluster::Profile       -> the algorithm constants
-//   cluster::BuildClustering -> the paper's headline algorithm
-//   cluster::CheckClustering -> geometric validation of the postconditions
+// Walks through the experiment API:
+//   scenario::ScenarioSpec  -> the experiment as a value (topology name +
+//                              params, algorithm name, seeds, SINR options)
+//   scenario::RunScenario   -> generator -> network -> Exec -> algorithm ->
+//                              validation, in one call
+//   scenario::RunReport     -> named metrics + the validator's verdict
+//
+// The same spec runs from the command line:
+//   $ ./dcc_run --topology=uniform:n=128,side=5 --algo=clustering \
+//               --seeds=1 --id-space=4096
 #include <cstdlib>
 #include <iostream>
 
-#include "dcc/cluster/clustering.h"
-#include "dcc/cluster/validate.h"
 #include "dcc/common/table.h"
-#include "dcc/workload/generators.h"
+#include "dcc/scenario/scenario.h"
 
 int main(int argc, char** argv) {
   using namespace dcc;
@@ -24,42 +26,50 @@ int main(int argc, char** argv) {
   const double side = argc > 2 ? std::atof(argv[2]) : 5.0;
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
 
-  // 1. SINR model parameters: alpha=3, beta=1.5, eps=0.2, range 1,
-  //    ids drawn from [1, 4096].
-  sinr::Params params = sinr::Params::Default();
-  params.id_space = 1 << 12;
+  // 1. The experiment as a value. SINR model: alpha=3, beta=1.5, eps=0.2,
+  //    range 1, ids drawn from [1, 4096].
+  scenario::ScenarioSpec spec;
+  spec.topology = "uniform";
+  spec.topology_params.Set("n", std::to_string(n));
+  spec.topology_params.Set("side", std::to_string(side));
+  spec.algo = "clustering";
+  spec.sinr.id_space = 1 << 12;
+  spec.seeds = {seed};
+  std::cout << "spec: " << spec.ToString() << "\n";
 
-  // 2. A workload: n nodes uniform over a side x side field, random ids.
-  auto pts = workload::UniformSquare(n, side, seed);
-  const sinr::Network net = workload::MakeNetwork(pts, params, seed + 1);
-  std::cout << "network: n=" << net.size() << " density=" << net.Density()
-            << " degree=" << net.MaxDegree()
-            << " diameter=" << net.Diameter() << "\n";
+  // 2. One call: generate the workload, build the network, run the
+  //    deterministic clustering, validate the paper's postconditions
+  //    against the real geometry.
+  const scenario::RunReport rep = scenario::RunScenario(spec, seed);
+  if (!rep.error.empty()) {
+    std::cerr << "run failed: " << rep.error << "\n";
+    return 1;
+  }
 
-  // 3. Run the deterministic clustering. Everything a node uses is public:
-  //    N, the density bound, the SINR parameters and the profile constants.
-  const auto prof = cluster::Profile::Practical(params.id_space);
-  std::vector<std::size_t> members(net.size());
-  for (std::size_t i = 0; i < members.size(); ++i) members[i] = i;
+  // 3. Everything measured is a named metric in the report. Counts are
+  //    integral doubles; print them integer-exact.
+  const auto& m = rep.metrics;
+  const auto count = [&](const char* key) {
+    return static_cast<std::int64_t>(m.Get(key));
+  };
+  std::cout << "network: n=" << count("n") << " gamma=" << count("gamma")
+            << "\nclustering: rounds=" << count("rounds")
+            << " levels=" << count("levels")
+            << " unassigned=" << count("unassigned") << "\n";
 
-  sim::Exec ex(net);
-  const auto res =
-      cluster::BuildClustering(ex, prof, members, net.Density(), seed + 2);
-  std::cout << "clustering: rounds=" << res.rounds
-            << " levels=" << res.levels << " unassigned=" << res.unassigned
-            << "\n";
-
-  // 4. Validate the paper's postconditions against the real geometry.
-  const auto chk = cluster::CheckClustering(net, members, res.cluster_of);
   Table t({"check", "value"});
-  t.AddRow({"clusters", Table::Num(std::int64_t{chk.num_clusters})});
-  t.AddRow({"max cluster size", Table::Num(std::int64_t{chk.max_cluster_size})});
-  t.AddRow({"max radius (<= 1)", Table::Num(chk.max_radius)});
-  t.AddRow({"min center separation (>= 1-eps)", Table::Num(chk.min_center_sep)});
+  t.AddRow({"clusters", Table::Num(count("clusters"))});
+  t.AddRow({"max cluster size", Table::Num(count("max_cluster_size"))});
+  t.AddRow({"max radius (<= 1)", Table::Num(m.Get("max_radius"))});
+  t.AddRow({"min center separation (>= 1-eps)",
+            Table::Num(m.Get("min_center_sep"))});
   t.AddRow({"max clusters per unit ball (O(1))",
-            Table::Num(std::int64_t{chk.max_clusters_per_unit_ball})});
-  t.AddRow({"valid 1-clustering",
-            chk.ValidRClustering(1.0, params.eps) ? "yes" : "NO"});
+            Table::Num(count("max_clusters_per_unit_ball"))});
+  t.AddRow({"valid 1-clustering", rep.ok ? "yes" : "NO"});
   t.Print(std::cout);
-  return chk.ValidRClustering(1.0, params.eps) ? 0 : 1;
+
+  std::cout << "\nas JSON:\n";
+  rep.PrintJson(std::cout);
+  std::cout << "\n";
+  return rep.ok ? 0 : 1;
 }

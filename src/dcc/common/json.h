@@ -1,0 +1,18 @@
+// Minimal JSON *emission* helpers — enough for schema-stable reports
+// without pulling a dependency. (There is deliberately no parser here; the
+// scenario layer round-trips specs through their flag/string form instead.)
+#pragma once
+
+#include <string>
+
+namespace dcc {
+
+// Escapes and quotes `s` as a JSON string literal.
+std::string JsonQuote(const std::string& s);
+
+// Shortest decimal representation of `v` that parses back to the same
+// double (so emitted metrics are exact and stable across runs). Non-finite
+// values — which JSON cannot carry — become null.
+std::string JsonNumber(double v);
+
+}  // namespace dcc

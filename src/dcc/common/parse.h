@@ -1,0 +1,19 @@
+// Strict whole-string numeric parsing, shared by every layer that turns
+// user text into numbers (scenario specs, ParamMap getters, engine env
+// knobs). Rejects empty strings, trailing characters, sign mismatches and
+// overflow with InvalidArgument — a typo must fail loudly, never silently
+// become a different value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcc {
+
+// `what` names the value in the error message, e.g. "--seeds" or
+// "parameter 'n'".
+std::int64_t ParseInt64(const std::string& text, const std::string& what);
+std::uint64_t ParseUint64(const std::string& text, const std::string& what);
+double ParseDouble(const std::string& text, const std::string& what);
+
+}  // namespace dcc

@@ -1,0 +1,27 @@
+#include "dcc/scenario/registry.h"
+
+namespace dcc::scenario {
+
+// Defined in topologies.cc / algorithms.cc.
+void RegisterBuiltinTopologies(TopologyRegistry& reg);
+void RegisterBuiltinAlgorithms(AlgorithmRegistry& reg);
+
+TopologyRegistry& Topologies() {
+  static TopologyRegistry* reg = [] {
+    auto* r = new TopologyRegistry("topology");
+    RegisterBuiltinTopologies(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+AlgorithmRegistry& Algorithms() {
+  static AlgorithmRegistry* reg = [] {
+    auto* r = new AlgorithmRegistry("algorithm");
+    RegisterBuiltinAlgorithms(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace dcc::scenario

@@ -1,0 +1,113 @@
+// String-keyed registries resolving a ScenarioSpec's names into code.
+//
+//  * TopologyRegistry: name -> point-set generator over (params, sinr, seed).
+//  * AlgorithmRegistry: name -> Algorithm adapter factory. Adapters wrap the
+//    library's protocols (BuildClustering, SMSB/SNS, wakeup, leader
+//    election, the baselines) behind one interface returning a RunReport.
+//
+// Unknown names throw InvalidArgument listing everything registered, so a
+// typo in a spec is a one-line fix, not a debugging session. Registering a
+// custom entry is a single call (see README "Running experiments").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dcc/cluster/profile.h"
+#include "dcc/scenario/param_map.h"
+#include "dcc/scenario/report.h"
+#include "dcc/sim/runner.h"
+
+namespace dcc::scenario {
+
+// Everything an Algorithm adapter may touch for one run. `members` is the
+// protocol participant set (fault-injected jammers are excluded — protocol
+// code must not know about them), `gamma` its measured density.
+struct RunContext {
+  const sinr::Network& net;
+  sim::Exec& ex;
+  const cluster::Profile& prof;
+  std::vector<std::size_t> members;
+  int gamma = 1;
+  Round max_rounds = 0;  // 0 = adapter-default budget
+  std::uint64_t seed = 0;
+  std::uint64_t nonce = 0;
+  ParamMap params;  // algorithm parameters from the spec
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+  // Runs the protocol on `ctx`, fills metrics and sets `ok` from its
+  // validator. Spec coordinates (topology/algo/seed) and the shared metrics
+  // (n, gamma, rounds_total...) are stamped by RunScenario afterwards.
+  virtual RunReport Run(RunContext& ctx) = 0;
+};
+
+template <typename Value>
+class Registry {
+ public:
+  Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  // `help` is a one-line parameter summary shown by `dcc_run --list`.
+  void Register(const std::string& name, Value value, std::string help) {
+    for (auto& e : entries_) {
+      if (e.name == name) {
+        e.value = std::move(value);
+        e.help = std::move(help);
+        return;
+      }
+    }
+    entries_.push_back({name, std::move(value), std::move(help)});
+  }
+
+  const Value& Get(const std::string& name) const {
+    for (const auto& e : entries_) {
+      if (e.name == name) return e.value;
+    }
+    std::string known;
+    for (const auto& e : entries_) {
+      if (!known.empty()) known += ", ";
+      known += e.name;
+    }
+    throw InvalidArgument("unknown " + kind_ + " '" + name +
+                          "'; registered: " + known);
+  }
+
+  // (name, help) pairs in registration order.
+  std::vector<std::pair<std::string, std::string>> List() const {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& e : entries_) out.emplace_back(e.name, e.help);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    Value value;
+    std::string help;
+  };
+  std::string kind_;
+  std::vector<Entry> entries_;
+};
+
+// Generates the node positions for one run. The function owns interpreting
+// `params`; RunScenario rejects any parameter it never reads.
+using TopologyFn = std::function<std::vector<Vec2>(
+    const ParamMap& params, const sinr::Params& sinr, std::uint64_t seed)>;
+
+using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>()>;
+
+using TopologyRegistry = Registry<TopologyFn>;
+using AlgorithmRegistry = Registry<AlgorithmFactory>;
+
+// Process-wide registries, pre-loaded with every workload:: generator and
+// every protocol/baseline in the library.
+TopologyRegistry& Topologies();
+AlgorithmRegistry& Algorithms();
+
+}  // namespace dcc::scenario

@@ -1,0 +1,29 @@
+// Executing ScenarioSpecs: one run per seed, or a seed sweep on a thread
+// pool. This is the umbrella header of the scenario layer — include this
+// to drive experiments, registry.h to extend it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/scenario/registry.h"
+#include "dcc/scenario/report.h"
+#include "dcc/scenario/spec.h"
+
+namespace dcc::scenario {
+
+// Runs the spec once under `seed`: resolve the topology, build the network
+// (ids from id_seed, default seed+1), inject faults, resolve and run the
+// algorithm, validate. Never throws — a failed run returns a report with
+// ok = false and the error message.
+RunReport RunScenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+// Runs the spec over its sweep grid — spec.seeds, crossed with
+// spec.sweep_values over topology parameter spec.sweep_key when set — on
+// spec.threads workers (0 = hardware concurrency, clamped to the job
+// count). Every run builds its own Network/Exec, so the result is
+// independent of the thread count and equal to serial execution; reports
+// come back in grid order (value-major, then seed).
+std::vector<RunReport> RunSweep(const ScenarioSpec& spec);
+
+}  // namespace dcc::scenario

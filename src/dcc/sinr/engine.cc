@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <typeinfo>
+
+#include "dcc/common/parse.h"
 
 #if defined(__GNUC__) && defined(__x86_64__)
 #include <immintrin.h>
@@ -140,6 +144,31 @@ double AutoCell(const Network& net) {
 }
 
 }  // namespace
+
+Engine::Options Engine::Options::FromEnv() {
+  Options opts;
+  if (const char* mode = std::getenv("DCC_ENGINE_MODE")) {
+    const std::string m(mode);
+    if (m == "exact") {
+      opts.mode = Mode::kExact;
+    } else if (m == "grid") {
+      opts.mode = Mode::kGrid;
+    } else if (m != "auto" && !m.empty()) {
+      throw InvalidArgument("DCC_ENGINE_MODE: unknown mode '" + m +
+                            "' (expected exact, grid or auto)");
+    }
+  }
+  if (const char* cell = std::getenv("DCC_ENGINE_CELL");
+      cell && *cell != '\0') {
+    const double v = ParseDouble(cell, "DCC_ENGINE_CELL");
+    if (!(v > 0.0)) {
+      throw InvalidArgument("DCC_ENGINE_CELL: tile side '" +
+                            std::string(cell) + "' must be positive");
+    }
+    opts.cell = v;
+  }
+  return opts;
+}
 
 Engine::Engine(const Network& net, Options options)
     : net_(&net), options_(options) {

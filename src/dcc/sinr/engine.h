@@ -56,6 +56,13 @@ class Engine {
     double cell = 0.0;
     // kAuto switches to kGrid for networks larger than this.
     std::size_t grid_threshold = Network::kGainMatrixLimit;
+
+    // Options overridden from the environment (benches and dcc_run):
+    //   DCC_ENGINE_MODE = exact | grid | auto   (default auto)
+    //   DCC_ENGINE_CELL = <tile side>           (default: engine heuristic)
+    // Throws InvalidArgument on any unrecognized or malformed value — a
+    // typo must not silently fall back to the default strategy.
+    static Options FromEnv();
   };
 
   explicit Engine(const Network& net) : Engine(net, Options{}) {}

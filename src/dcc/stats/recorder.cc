@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "dcc/common/json.h"
+
 namespace dcc::stats {
 
 std::size_t Recorder::FindOrCreate(const std::string& key) {
@@ -39,6 +41,17 @@ void Recorder::Print(std::ostream& os, int indent) const {
   for (const auto& [k, v] : entries_) {
     os << pad << k << " = " << v << '\n';
   }
+}
+
+void Recorder::PrintJson(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : entries_) {
+    if (!first) os << ", ";
+    first = false;
+    os << JsonQuote(k) << ": " << JsonNumber(v);
+  }
+  os << '}';
 }
 
 }  // namespace dcc::stats

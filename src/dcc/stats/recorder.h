@@ -23,6 +23,11 @@ class Recorder {
 
   void Print(std::ostream& os, int indent = 0) const;
 
+  // Emits the entries as one JSON object in insertion order, e.g.
+  // {"rounds": 42, "unassigned": 0}. Values print with shortest-round-trip
+  // precision; non-finite values become null.
+  void PrintJson(std::ostream& os) const;
+
  private:
   std::vector<std::pair<std::string, double>> entries_;
   std::size_t FindOrCreate(const std::string& key);

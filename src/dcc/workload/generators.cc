@@ -139,7 +139,7 @@ std::vector<Vec2> Star(int arms, int per_arm, double pitch) {
 }
 
 sinr::Network MakeNetwork(std::vector<Vec2> pts, sinr::Params params,
-                          std::uint64_t id_seed) {
+                          std::uint64_t id_seed, sinr::Shadowing shadowing) {
   DCC_REQUIRE(static_cast<std::int64_t>(pts.size()) <= params.id_space,
               "MakeNetwork: more nodes than ids");
   // Sample a random injection [n] -> [1, id_space].
@@ -164,7 +164,7 @@ sinr::Network MakeNetwork(std::vector<Vec2> pts, sinr::Params params,
       }
     }
   }
-  return sinr::Network(std::move(pts), std::move(ids), params);
+  return sinr::Network(std::move(pts), std::move(ids), params, shadowing);
 }
 
 }  // namespace dcc::workload

@@ -52,8 +52,10 @@ std::vector<Vec2> TwoScale(int n_sparse, double side, int hotspots,
 std::vector<Vec2> Star(int arms, int per_arm, double pitch);
 
 // Builds a network with ids randomly permuted over [1, id_space] (the
-// algorithms must not depend on ids being 1..n).
+// algorithms must not depend on ids being 1..n). Optional deterministic
+// shadowing perturbs per-link gains (see sinr::Shadowing).
 sinr::Network MakeNetwork(std::vector<Vec2> pts, sinr::Params params,
-                          std::uint64_t id_seed);
+                          std::uint64_t id_seed,
+                          sinr::Shadowing shadowing = {});
 
 }  // namespace dcc::workload

@@ -1,0 +1,61 @@
+// Engine::Options::FromEnv — strict parsing of DCC_ENGINE_MODE /
+// DCC_ENGINE_CELL. Typos must reject, not silently fall back.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "dcc/sinr/engine.h"
+
+namespace dcc::sinr {
+namespace {
+
+class EngineEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("DCC_ENGINE_MODE");
+    unsetenv("DCC_ENGINE_CELL");
+  }
+};
+
+TEST_F(EngineEnvTest, DefaultsWhenUnset) {
+  const auto opts = Engine::Options::FromEnv();
+  EXPECT_EQ(opts.mode, Engine::Mode::kAuto);
+  EXPECT_EQ(opts.cell, 0.0);
+}
+
+TEST_F(EngineEnvTest, ParsesEveryMode) {
+  setenv("DCC_ENGINE_MODE", "exact", 1);
+  EXPECT_EQ(Engine::Options::FromEnv().mode, Engine::Mode::kExact);
+  setenv("DCC_ENGINE_MODE", "grid", 1);
+  EXPECT_EQ(Engine::Options::FromEnv().mode, Engine::Mode::kGrid);
+  setenv("DCC_ENGINE_MODE", "auto", 1);
+  EXPECT_EQ(Engine::Options::FromEnv().mode, Engine::Mode::kAuto);
+}
+
+TEST_F(EngineEnvTest, ParsesCell) {
+  setenv("DCC_ENGINE_CELL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(Engine::Options::FromEnv().cell, 2.5);
+}
+
+TEST_F(EngineEnvTest, RejectsModeTypos) {
+  setenv("DCC_ENGINE_MODE", "gird", 1);
+  EXPECT_THROW(Engine::Options::FromEnv(), InvalidArgument);
+}
+
+TEST_F(EngineEnvTest, RejectsMalformedCell) {
+  setenv("DCC_ENGINE_CELL", "2.5x", 1);
+  EXPECT_THROW(Engine::Options::FromEnv(), InvalidArgument);
+  setenv("DCC_ENGINE_CELL", "-1", 1);
+  EXPECT_THROW(Engine::Options::FromEnv(), InvalidArgument);
+}
+
+TEST_F(EngineEnvTest, EmptyValuesMeanUnset) {
+  setenv("DCC_ENGINE_MODE", "", 1);
+  setenv("DCC_ENGINE_CELL", "", 1);
+  const auto opts = Engine::Options::FromEnv();
+  EXPECT_EQ(opts.mode, Engine::Mode::kAuto);
+  EXPECT_EQ(opts.cell, 0.0);
+}
+
+}  // namespace
+}  // namespace dcc::sinr

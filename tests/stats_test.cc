@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 namespace dcc::stats {
@@ -32,6 +33,27 @@ TEST(RecorderTest, InsertionOrderPreserved) {
   ASSERT_EQ(r.entries().size(), 2u);
   EXPECT_EQ(r.entries()[0].first, "b");
   EXPECT_EQ(r.entries()[1].first, "a");
+}
+
+TEST(RecorderTest, PrintJsonGolden) {
+  Recorder r;
+  r.Set("rounds", 460010);
+  r.Set("max_radius", 0.9981188584948859);
+  r.Set("ratio", 0.5);
+  r.Set("inf", std::numeric_limits<double>::infinity());
+  r.Set("quote\"key", 1);
+  std::ostringstream os;
+  r.PrintJson(os);
+  EXPECT_EQ(os.str(),
+            "{\"rounds\": 460010, \"max_radius\": 0.9981188584948859, "
+            "\"ratio\": 0.5, \"inf\": null, \"quote\\\"key\": 1}");
+}
+
+TEST(RecorderTest, PrintJsonEmptyRecorder) {
+  Recorder r;
+  std::ostringstream os;
+  r.PrintJson(os);
+  EXPECT_EQ(os.str(), "{}");
 }
 
 TEST(RecorderTest, PrintFormatsAllEntries) {

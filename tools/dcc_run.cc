@@ -1,0 +1,137 @@
+// dcc_run — the one driver for every registered scenario.
+//
+//   $ dcc_run --topology=uniform:n=4096,side=20 --algo=clustering \
+//             --seeds=1..8 --json=out.json
+//
+// Scenario flags are the ScenarioSpec grammar (see README "Running
+// experiments" or --help). Driver-only flags:
+//   --list         print registered topologies and algorithms, then exit
+//   --json=PATH    write the sweep report as JSON (- for stdout)
+//   --quiet        suppress the per-run text summary
+//   --help         usage
+// Exit status is 0 iff every run validated (ok == true).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dcc/scenario/scenario.h"
+
+namespace {
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: dcc_run [flags]\n"
+        "\n"
+        "scenario flags (all optional; defaults in parentheses):\n"
+        "  --topology=NAME[:k=v,...]  topology + parameters (uniform)\n"
+        "  --algo=NAME[:k=v,...]      algorithm + parameters (clustering)\n"
+        "  --seeds=A..B | A,B,C | A   seed sweep (1)\n"
+        "  --sweep=KEY:V1,V2,...      size grid: sweep one topology param\n"
+        "                             across values, crossed with --seeds\n"
+        "  --id-seed=U --nonce=U      replay overrides (seed+1 / seed+2)\n"
+        "  --alpha= --beta= --eps= --noise= --power=   SINR model\n"
+        "  --id-space=N               ID space upper bound (65536)\n"
+        "  --shadowing=SPREAD[:SEED]  deterministic per-link shadowing (off)\n"
+        "  --engine=exact|grid|auto   interference resolution (auto)\n"
+        "  --cell=D                   grid tile side (engine heuristic)\n"
+        "  --grid-threshold=N         auto mode's exact->grid cutover (2048)\n"
+        "  --rounds=R                 round budget where applicable\n"
+        "  --faults=K                 K always-on background jammers (0)\n"
+        "  --threads=T                sweep workers (hardware)\n"
+        "\n"
+        "driver flags:\n"
+        "  --list --json=PATH --quiet --help\n"
+        "\n"
+        "run `dcc_run --list` for registered topologies/algorithms.\n";
+}
+
+void PrintRegistries(std::ostream& os) {
+  os << "topologies:\n";
+  for (const auto& [name, help] : dcc::scenario::Topologies().List()) {
+    os << "  " << name << "\n      " << help << '\n';
+  }
+  os << "algorithms:\n";
+  for (const auto& [name, help] : dcc::scenario::Algorithms().List()) {
+    os << "  " << name << "\n      " << help << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcc::scenario;
+
+  std::vector<std::string> spec_args;
+  std::string json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg == "--list") {
+      PrintRegistries(std::cout);
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        std::cerr << "dcc_run: --json= needs a path (use - for stdout)\n";
+        return 2;
+      }
+    } else {
+      spec_args.push_back(arg);
+    }
+  }
+
+  ScenarioSpec spec;
+  std::vector<RunReport> runs;
+  try {
+    spec = ScenarioSpec::FromArgs(spec_args);
+    // DCC_ENGINE_MODE / DCC_ENGINE_CELL supply the engine defaults (same
+    // knobs as the benches); explicit --engine/--cell flags win. When any
+    // default still comes from the environment, both env knobs are
+    // validated — a typo'd value fails loudly even if overridden.
+    bool engine_flag = false;
+    bool cell_flag = false;
+    for (const std::string& a : spec_args) {
+      engine_flag = engine_flag || a.rfind("--engine=", 0) == 0;
+      cell_flag = cell_flag || a.rfind("--cell=", 0) == 0;
+    }
+    if (!engine_flag || !cell_flag) {
+      const auto env_engine = dcc::sinr::Engine::Options::FromEnv();
+      if (!engine_flag) spec.engine.mode = env_engine.mode;
+      if (!cell_flag) spec.engine.cell = env_engine.cell;
+    }
+    if (!quiet) std::cout << "spec: " << spec.ToString() << '\n';
+    runs = RunSweep(spec);
+  } catch (const std::exception& e) {
+    std::cerr << "dcc_run: " << e.what() << '\n';
+    return 2;
+  }
+
+  bool all_ok = true;
+  for (const RunReport& r : runs) {
+    all_ok = all_ok && r.ok;
+    if (quiet) continue;
+    std::cout << "seed " << r.seed << ": " << (r.ok ? "ok" : "FAILED");
+    if (!r.error.empty()) std::cout << " (" << r.error << ')';
+    std::cout << '\n';
+    r.metrics.Print(std::cout, 2);
+  }
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      PrintSweepJson(std::cout, spec.ToString(), runs);
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "dcc_run: cannot open " << json_path << '\n';
+        return 2;
+      }
+      PrintSweepJson(out, spec.ToString(), runs);
+    }
+  }
+  return all_ok ? 0 : 1;
+}
