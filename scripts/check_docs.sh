@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Docs consistency gate (run by the CI docs job, and locally before
+# shipping doc changes):
+#
+#   1. Markdown link check — every relative [text](target) link in
+#      README.md and docs/*.md must resolve to a file in the repo.
+#   2. Source-path check — every `src/...`, `tests/...`, `bench/...`,
+#      `tools/...`, `scripts/...` path mentioned in those docs must exist
+#      ({a,b} brace groups are expanded), so the paper map and
+#      architecture doc cannot point at renamed files.
+#   3. Flag drift — every --flag `dcc_run --help` advertises must be
+#      documented in README.md, and every --flag README documents must be
+#      accepted by --help.
+#   4. Registry drift — every mobility model `dcc_run --list` reports,
+#      and every dynamics driver key it names, must appear in README.md.
+#
+# Usage: scripts/check_docs.sh [path-to-dcc_run]   (default: build/dcc_run)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="${1:-$ROOT/build/dcc_run}"
+
+fail=0
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+DOCS=("$ROOT/README.md" "$ROOT"/docs/*.md)
+
+# --- 1. relative markdown links ---------------------------------------------
+for doc in "${DOCS[@]}"; do
+  dir="$(dirname "$doc")"
+  while IFS= read -r link; do
+    case "$link" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$ROOT/$target" ]; then
+      err "$(basename "$doc"): broken link -> $link"
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed 's/^](//; s/)$//')
+done
+
+# --- 2. referenced source paths ---------------------------------------------
+expand_braces() {
+  # "src/a/{b,c}.{h,cc}" -> the four concrete paths; paths without braces
+  # pass through. Groups expand left to right.
+  local path="$1"
+  if [[ "$path" == *"{"*"}"* ]]; then
+    local prefix="${path%%\{*}" rest="${path#*\{}"
+    local group="${rest%%\}*}" suffix="${rest#*\}}"
+    local alt
+    IFS=',' read -ra alts <<< "$group"
+    for alt in "${alts[@]}"; do
+      expand_braces "${prefix}${alt}${suffix}"
+    done
+  else
+    echo "$path"
+  fi
+}
+
+for doc in "${DOCS[@]}"; do
+  while IFS= read -r ref; do
+    while IFS= read -r path; do
+      # Directories, files, and extension-less stems ("sinr/engine" for
+      # engine.{h,cc}) all count as resolved.
+      if [ ! -e "$ROOT/$path" ] && ! compgen -G "$ROOT/$path.*" > /dev/null; then
+        err "$(basename "$doc"): references missing path $ref"
+        break
+      fi
+    done < <(expand_braces "$ref")
+  done < <(grep -oE '(src|tests|bench|tools|scripts)/[A-Za-z0-9_/.{,}-]*[A-Za-z0-9_}]' "$doc" | sort -u)
+done
+
+# --- 3. --help flags vs README ----------------------------------------------
+if [ ! -x "$BIN" ]; then
+  err "dcc_run binary not found at $BIN (build first, or pass its path)"
+  exit 1
+fi
+
+help_out="$("$BIN" --help)" || { err "dcc_run --help failed"; exit 1; }
+list_out="$("$BIN" --list)" || { err "dcc_run --list failed"; exit 1; }
+
+help_flags="$(grep -oE -- '--[a-z][a-z-]*' <<< "$help_out" | sort -u)"
+# README's spec-grammar table rows only ("| `--flag...`"): prose also
+# mentions cmake/ctest flags that are not dcc_run's.
+readme_flags="$(grep -E '^\| *`--' "$ROOT/README.md" |
+                grep -oE -- '--[a-z][a-z-]*' | sort -u)"
+
+while IFS= read -r flag; do
+  grep -qF -- "$flag" "$ROOT/README.md" ||
+    err "README.md does not document $flag (advertised by dcc_run --help)"
+done <<< "$help_flags"
+
+while IFS= read -r flag; do
+  grep -qF -- "$flag" <<< "$help_out" ||
+    err "README.md documents $flag which dcc_run --help does not advertise"
+done <<< "$readme_flags"
+
+# --- 4. --list registries vs README -----------------------------------------
+models="$(sed -n '/^mobility models/,$p' <<< "$list_out" |
+          grep -E '^  [a-z_]+$' | tr -d ' ')"
+if [ -z "$models" ]; then
+  err "dcc_run --list prints no mobility models section"
+fi
+while IFS= read -r model; do
+  [ -z "$model" ] && continue
+  grep -qE "(^|[^a-z_])${model}([^a-z_]|$)" "$ROOT/README.md" ||
+    err "README.md does not mention mobility model '$model' (from --list)"
+done <<< "$models"
+
+driver_keys="$(grep -oE 'driver keys: [a-z_, ]+' <<< "$list_out" |
+               head -1 | sed 's/driver keys: //; s/,/ /g')"
+for key in $driver_keys; do
+  grep -qF -- "$key" "$ROOT/README.md" ||
+    err "README.md does not document dynamics driver key '$key'"
+  grep -qF -- "$key" <<< "$help_out" ||
+    err "dcc_run --help does not document dynamics driver key '$key'"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK (${#DOCS[@]} docs, $(wc -l <<< "$help_flags") flags, $(wc -l <<< "$models") mobility models)"

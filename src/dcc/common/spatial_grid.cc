@@ -25,11 +25,23 @@ inline double AxisFarSq(double x, double lo, double hi) {
 }  // namespace
 
 SpatialGrid::SpatialGrid(std::span<const Vec2> pts, double cell)
-    : cell_(cell) {
+    : cell_(cell), inv_cell_(1.0 / cell) {
   DCC_REQUIRE(cell > 0.0, "SpatialGrid: cell must be > 0");
-  const Box box = BoundingBox(pts);
-  lo_x_ = box.lo.x;
-  lo_y_ = box.lo.y;
+  InitTiles(pts, BoundingBox(pts));
+}
+
+SpatialGrid::SpatialGrid(std::span<const Vec2> pts, double cell,
+                         const Box& coverage)
+    : cell_(cell), inv_cell_(1.0 / cell) {
+  DCC_REQUIRE(cell > 0.0, "SpatialGrid: cell must be > 0");
+  DCC_REQUIRE(coverage.hi.x >= coverage.lo.x && coverage.hi.y >= coverage.lo.y,
+              "SpatialGrid: inverted coverage box");
+  InitTiles(pts, coverage);
+}
+
+void SpatialGrid::InitTiles(std::span<const Vec2> pts, const Box& coverage) {
+  lo_x_ = coverage.lo.x;
+  lo_y_ = coverage.lo.y;
   // Guard against a cell far smaller than the point extent (e.g. a typo'd
   // engine option): the per-tile arrays would dwarf the point set.
   const std::int64_t max_tiles = std::min<std::int64_t>(
@@ -41,8 +53,8 @@ SpatialGrid::SpatialGrid(std::span<const Vec2> pts, double cell)
                 "SpatialGrid: cell too small for the point extent");
     return std::max<std::int64_t>(1, static_cast<std::int64_t>(raw) + 1);
   };
-  const std::int64_t nx = axis_tiles(box.hi.x - lo_x_);
-  const std::int64_t ny = axis_tiles(box.hi.y - lo_y_);
+  const std::int64_t nx = axis_tiles(coverage.hi.x - lo_x_);
+  const std::int64_t ny = axis_tiles(coverage.hi.y - lo_y_);
   DCC_REQUIRE(ny <= max_tiles / nx,
               "SpatialGrid: cell too small for the point extent");
   nx_ = static_cast<int>(nx);
@@ -50,29 +62,52 @@ SpatialGrid::SpatialGrid(std::span<const Vec2> pts, double cell)
 
   const std::size_t n = pts.size();
   tile_of_point_.resize(n);
-  start_.assign(static_cast<std::size_t>(tile_count()) + 1, 0);
-  points_.resize(n);
+  slot_of_point_.resize(n);
+  buckets_.resize(static_cast<std::size_t>(tile_count()));
+  // Counting pass so every bucket is allocated exactly once.
+  std::vector<std::size_t> count(buckets_.size(), 0);
   for (std::size_t i = 0; i < n; ++i) {
+    CheckCovered(pts[i]);
     const int t = TileAt(pts[i]);
     tile_of_point_[i] = t;
-    ++start_[static_cast<std::size_t>(t) + 1];
+    ++count[static_cast<std::size_t>(t)];
   }
-  for (std::size_t t = 0; t < start_.size() - 1; ++t) {
-    if (start_[t + 1] > 0) occupied_.push_back(static_cast<int>(t));
-    start_[t + 1] += start_[t];
+  for (std::size_t t = 0; t < buckets_.size(); ++t) {
+    if (count[t] == 0) continue;
+    buckets_[t].reserve(count[t]);
+    occupied_.push_back(static_cast<int>(t));
   }
-  std::vector<std::size_t> fill(start_.begin(), start_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
-    points_[fill[static_cast<std::size_t>(tile_of_point_[i])]++] = i;
+    auto& bucket = buckets_[static_cast<std::size_t>(tile_of_point_[i])];
+    slot_of_point_[i] = static_cast<std::uint32_t>(bucket.size());
+    bucket.push_back(i);
   }
+  live_count_ = n;
 }
 
-int SpatialGrid::TileAt(Vec2 p) const {
-  int gx = static_cast<int>(std::floor((p.x - lo_x_) / cell_));
-  int gy = static_cast<int>(std::floor((p.y - lo_y_) / cell_));
-  gx = std::clamp(gx, 0, nx_ - 1);
-  gy = std::clamp(gy, 0, ny_ - 1);
-  return gy * nx_ + gx;
+const std::vector<int>& SpatialGrid::occupied() const {
+  if (occupied_dirty_) {
+    std::sort(occupied_.begin(), occupied_.end());
+    occupied_.erase(std::unique(occupied_.begin(), occupied_.end()),
+                    occupied_.end());
+    std::erase_if(occupied_, [&](int t) {
+      return buckets_[static_cast<std::size_t>(t)].empty();
+    });
+    occupied_dirty_ = false;
+  }
+  return occupied_;
+}
+
+void SpatialGrid::Insert(std::size_t i, Vec2 p) {
+  DCC_REQUIRE(i >= tile_of_point_.size() || tile_of_point_[i] == kErased,
+              "SpatialGrid::Insert: slot already live");
+  CheckCovered(p);
+  if (i >= tile_of_point_.size()) {
+    tile_of_point_.resize(i + 1, kErased);
+    slot_of_point_.resize(i + 1, 0);
+  }
+  PushToTile(i, TileAt(p));
+  ++live_count_;
 }
 
 double SpatialGrid::DistLoSq(Vec2 p, int tile) const {

@@ -1,0 +1,43 @@
+#include "dcc/mobility/churn.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "dcc/common/types.h"
+
+namespace dcc::mobility {
+
+ChurnProcess::ChurnProcess(double leave_rate, double join_rate,
+                           std::uint64_t seed)
+    : leave_rate_(leave_rate), join_rate_(join_rate), rng_(seed) {
+  DCC_REQUIRE(leave_rate >= 0.0 && join_rate >= 0.0,
+              "churn: rates must be >= 0");
+}
+
+void ChurnProcess::Step(double dt, std::span<char> active, Delta& delta) {
+  delta.Clear();
+  const double p_leave = 1.0 - std::exp(-leave_rate_ * dt);
+  const double p_join = 1.0 - std::exp(-join_rate_ * dt);
+  std::size_t remaining = 0;
+  for (const char a : active) remaining += a ? 1 : 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (active[i]) {
+      // The draw happens even for the protected last node, so whether a
+      // node is spared never shifts the random stream of later nodes.
+      const bool leaves = rng_.NextDouble() < p_leave;
+      if (leaves && remaining > 1) {
+        active[i] = 0;
+        --remaining;
+        delta.left.push_back(i);
+      }
+    } else {
+      if (rng_.NextDouble() < p_join) {
+        active[i] = 1;
+        ++remaining;
+        delta.joined.push_back(i);
+      }
+    }
+  }
+}
+
+}  // namespace dcc::mobility

@@ -1,0 +1,265 @@
+#include "dcc/mobility/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcc/common/types.h"
+
+namespace dcc::mobility {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void CheckWorld(const Box& world) {
+  DCC_REQUIRE(world.hi.x >= world.lo.x && world.hi.y >= world.lo.y,
+              "mobility: inverted world box");
+}
+
+Vec2 ClampIntoBox(Vec2 p, const Box& box) {
+  return {std::clamp(p.x, box.lo.x, box.hi.x),
+          std::clamp(p.y, box.lo.y, box.hi.y)};
+}
+
+// Advances x by v*dt inside [lo, hi] with billiard reflection, flipping v
+// when the final leg travels against the incoming direction. Degenerate
+// interval (lo == hi) pins x. Folding through the doubled period instead
+// of bouncing iteratively keeps one epoch O(1) even for absurd speeds
+// (an extreme --dynamics speed must degrade gracefully, not hang).
+void ReflectAxis(double& x, double& v, double dt, double lo, double hi) {
+  if (hi <= lo) {
+    x = lo;
+    return;
+  }
+  x += v * dt;
+  if (x >= lo && x <= hi) return;
+  const double span = hi - lo;
+  double t = std::fmod(x - lo, 2.0 * span);
+  if (!std::isfinite(t)) {  // overflowed position: pin to the wall
+    x = v > 0.0 ? hi : lo;
+    v = -v;
+    return;
+  }
+  if (t < 0.0) t += 2.0 * span;
+  if (t <= span) {
+    x = lo + t;
+  } else {
+    x = lo + 2.0 * span - t;
+    v = -v;
+  }
+}
+
+// Standard normal via Box-Muller over the repo's deterministic generator
+// (std::normal_distribution is implementation-defined; trajectories must
+// replay identically on any stdlib).
+double NextGaussian(Xoshiro256ss& rng) {
+  // NextDouble is in [0, 1); shift away from 0 for the log.
+  const double u = 1.0 - rng.NextDouble();
+  const double v = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(2.0 * kPi * v);
+}
+
+}  // namespace
+
+// --- RandomWaypoint ---------------------------------------------------------
+
+RandomWaypoint::RandomWaypoint(Config cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  CheckWorld(cfg_.world);
+  DCC_REQUIRE(cfg_.vmin > 0.0 && cfg_.vmax >= cfg_.vmin &&
+                  std::isfinite(cfg_.vmax),
+              "waypoint: need 0 < vmin <= vmax (finite)");
+  DCC_REQUIRE(cfg_.pause >= 0.0 && std::isfinite(cfg_.pause),
+              "waypoint: pause must be >= 0 (finite)");
+}
+
+Vec2 RandomWaypoint::UniformInWorld() {
+  const Box& w = cfg_.world;
+  return {w.lo.x + (w.hi.x - w.lo.x) * rng_.NextDouble(),
+          w.lo.y + (w.hi.y - w.lo.y) * rng_.NextDouble()};
+}
+
+void RandomWaypoint::Retarget(NodeState& s) {
+  s.target = UniformInWorld();
+  s.speed = cfg_.vmin + (cfg_.vmax - cfg_.vmin) * rng_.NextDouble();
+}
+
+void RandomWaypoint::Init(std::span<const Vec2> pos) {
+  nodes_.resize(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) Retarget(nodes_[i]);
+}
+
+void RandomWaypoint::Step(double dt, std::span<Vec2> pos,
+                          std::span<const char> active) {
+  DCC_REQUIRE(pos.size() == nodes_.size() && active.size() == nodes_.size(),
+              "waypoint: Step size mismatch (call Init first)");
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (!active[i]) continue;
+    NodeState& s = nodes_[i];
+    double left = dt;
+    // The leg cap only matters for degenerate (point-sized) worlds, where
+    // with pause = 0 every target is already reached and no time drains.
+    for (int legs = 0; left > 0.0 && legs < 64; ++legs) {
+      if (s.pause_left > 0.0) {
+        const double wait = std::min(s.pause_left, left);
+        s.pause_left -= wait;
+        left -= wait;
+        continue;
+      }
+      const double gap = Dist(pos[i], s.target);
+      const double reach = s.speed * left;
+      if (reach < gap) {
+        pos[i] = pos[i] + (reach / gap) * (s.target - pos[i]);
+        break;
+      }
+      // Arrived mid-epoch: burn the travel time, start the pause, and (once
+      // the pause drains) pick the next leg.
+      pos[i] = s.target;
+      left -= gap / s.speed;
+      s.pause_left = cfg_.pause;
+      Retarget(s);
+    }
+    pos[i] = ClampIntoBox(pos[i], cfg_.world);  // shed float drift
+  }
+}
+
+Vec2 RandomWaypoint::Respawn(std::size_t i) {
+  DCC_REQUIRE(i < nodes_.size(), "waypoint: Respawn index out of range");
+  const Vec2 p = UniformInWorld();
+  nodes_[i].pause_left = 0.0;
+  Retarget(nodes_[i]);
+  return p;
+}
+
+// --- GaussMarkov ------------------------------------------------------------
+
+GaussMarkov::GaussMarkov(Config cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  CheckWorld(cfg_.world);
+  DCC_REQUIRE(cfg_.mean_speed > 0.0 && std::isfinite(cfg_.mean_speed),
+              "gauss_markov: mean_speed must be > 0 (finite)");
+  DCC_REQUIRE(cfg_.sigma >= 0.0 && std::isfinite(cfg_.sigma),
+              "gauss_markov: sigma must be >= 0 (finite)");
+  DCC_REQUIRE(cfg_.memory >= 0.0 && cfg_.memory < 1.0,
+              "gauss_markov: memory must be in [0, 1)");
+}
+
+void GaussMarkov::Reseed(NodeState& s) {
+  const double heading = 2.0 * kPi * rng_.NextDouble();
+  s.mean_vel = {cfg_.mean_speed * std::cos(heading),
+                cfg_.mean_speed * std::sin(heading)};
+  s.vel = s.mean_vel;
+}
+
+void GaussMarkov::Init(std::span<const Vec2> pos) {
+  nodes_.resize(pos.size());
+  for (auto& s : nodes_) Reseed(s);
+}
+
+void GaussMarkov::Step(double dt, std::span<Vec2> pos,
+                       std::span<const char> active) {
+  DCC_REQUIRE(pos.size() == nodes_.size() && active.size() == nodes_.size(),
+              "gauss_markov: Step size mismatch (call Init first)");
+  const double a = cfg_.memory;
+  const double noise = cfg_.sigma * std::sqrt(1.0 - a * a);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (!active[i]) continue;
+    NodeState& s = nodes_[i];
+    s.vel.x = a * s.vel.x + (1.0 - a) * s.mean_vel.x + noise * NextGaussian(rng_);
+    s.vel.y = a * s.vel.y + (1.0 - a) * s.mean_vel.y + noise * NextGaussian(rng_);
+    double vx = s.vel.x, vy = s.vel.y;
+    ReflectAxis(pos[i].x, vx, dt, cfg_.world.lo.x, cfg_.world.hi.x);
+    ReflectAxis(pos[i].y, vy, dt, cfg_.world.lo.y, cfg_.world.hi.y);
+    // A bounce reverses both the velocity and its attractor, or the AR(1)
+    // pull would drag the node straight back into the wall.
+    if (vx != s.vel.x) s.mean_vel.x = -s.mean_vel.x;
+    if (vy != s.vel.y) s.mean_vel.y = -s.mean_vel.y;
+    s.vel = {vx, vy};
+  }
+}
+
+Vec2 GaussMarkov::Respawn(std::size_t i) {
+  DCC_REQUIRE(i < nodes_.size(), "gauss_markov: Respawn index out of range");
+  Reseed(nodes_[i]);
+  const Box& w = cfg_.world;
+  return {w.lo.x + (w.hi.x - w.lo.x) * rng_.NextDouble(),
+          w.lo.y + (w.hi.y - w.lo.y) * rng_.NextDouble()};
+}
+
+// --- ReferencePointGroup ----------------------------------------------------
+
+ReferencePointGroup::ReferencePointGroup(Config cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      rng_(seed),
+      refs_({cfg.world, cfg.vmin, cfg.vmax, cfg.pause}, seed ^ 0x47524F5550ull) {
+  CheckWorld(cfg_.world);
+  DCC_REQUIRE(cfg_.group_size >= 1, "group: group_size must be >= 1");
+  DCC_REQUIRE(cfg_.radius >= 0.0 && std::isfinite(cfg_.radius),
+              "group: radius must be >= 0 (finite)");
+}
+
+Vec2 ReferencePointGroup::JitterOffset(Vec2 offset, double dt) {
+  // Offsets do a clipped random walk inside the group disc: a quarter of
+  // the disc radius of jitter per unit time keeps groups coherent while the
+  // internal arrangement churns.
+  const double step = 0.25 * cfg_.radius * dt;
+  offset.x += step * (2.0 * rng_.NextDouble() - 1.0);
+  offset.y += step * (2.0 * rng_.NextDouble() - 1.0);
+  const double d = std::sqrt(offset.x * offset.x + offset.y * offset.y);
+  if (d > cfg_.radius && d > 0.0) offset = (cfg_.radius / d) * offset;
+  return offset;
+}
+
+Vec2 ReferencePointGroup::MemberPosition(std::size_t i) const {
+  return ClampIntoBox(ref_pos_[GroupOf(i)] + offset_[i], cfg_.world);
+}
+
+void ReferencePointGroup::Init(std::span<const Vec2> pos) {
+  const std::size_t n = pos.size();
+  const std::size_t groups =
+      (n + static_cast<std::size_t>(cfg_.group_size) - 1) /
+      static_cast<std::size_t>(cfg_.group_size);
+  ref_pos_.assign(std::max<std::size_t>(groups, 1), Vec2{});
+  ref_active_.assign(ref_pos_.size(), 1);
+  offset_.assign(n, Vec2{});
+  // Reference points start at their group's centroid; member offsets are
+  // whatever remains, clipped into the group disc so the first Step doesn't
+  // teleport anyone.
+  std::vector<std::size_t> count(ref_pos_.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref_pos_[GroupOf(i)] = ref_pos_[GroupOf(i)] + pos[i];
+    ++count[GroupOf(i)];
+  }
+  for (std::size_t g = 0; g < ref_pos_.size(); ++g) {
+    if (count[g] > 0) {
+      ref_pos_[g] = (1.0 / static_cast<double>(count[g])) * ref_pos_[g];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    offset_[i] = JitterOffset(pos[i] - ref_pos_[GroupOf(i)], 0.0);
+  }
+  refs_.Init(ref_pos_);
+}
+
+void ReferencePointGroup::Step(double dt, std::span<Vec2> pos,
+                               std::span<const char> active) {
+  DCC_REQUIRE(pos.size() == offset_.size() && active.size() == offset_.size(),
+              "group: Step size mismatch (call Init first)");
+  refs_.Step(dt, ref_pos_, ref_active_);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (!active[i]) continue;
+    offset_[i] = JitterOffset(offset_[i], dt);
+    pos[i] = MemberPosition(i);
+  }
+}
+
+Vec2 ReferencePointGroup::Respawn(std::size_t i) {
+  DCC_REQUIRE(i < offset_.size(), "group: Respawn index out of range");
+  // Rejoin near the group's current reference point.
+  const double angle = 2.0 * kPi * rng_.NextDouble();
+  const double r = cfg_.radius * std::sqrt(rng_.NextDouble());
+  offset_[i] = {r * std::cos(angle), r * std::sin(angle)};
+  return MemberPosition(i);
+}
+
+}  // namespace dcc::mobility

@@ -1,0 +1,117 @@
+// The three stock mobility models (MANET literature staples):
+//
+//  * RandomWaypoint — each node walks to a uniformly drawn target at a
+//    per-leg uniform speed, pauses, re-targets. The default model of the
+//    MANET clustering literature.
+//  * GaussMarkov — velocity follows a per-axis AR(1) process around a
+//    per-node mean velocity; memory = 0 degenerates to a memoryless random
+//    walk, memory -> 1 to near-ballistic motion. Boundaries reflect.
+//  * ReferencePointGroup — nodes are partitioned into groups; each group's
+//    reference point does waypoint motion and members jitter inside a disc
+//    around it (RPGM). Models platoons/swarms: clusters should survive
+//    epochs far better than under independent motion.
+//
+// All speeds are distance units per unit of simulated time (one epoch of
+// length dt covers speed * dt).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcc/common/rng.h"
+#include "dcc/mobility/model.h"
+
+namespace dcc::mobility {
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Config {
+    Box world;
+    double vmin = 0.1;
+    double vmax = 1.0;
+    double pause = 0.0;  // dwell time at a reached waypoint
+  };
+  RandomWaypoint(Config cfg, std::uint64_t seed);
+
+  const Box& world() const override { return cfg_.world; }
+  void Init(std::span<const Vec2> pos) override;
+  void Step(double dt, std::span<Vec2> pos,
+            std::span<const char> active) override;
+  Vec2 Respawn(std::size_t i) override;
+
+ private:
+  struct NodeState {
+    Vec2 target;
+    double speed = 0.0;
+    double pause_left = 0.0;
+  };
+  void Retarget(NodeState& s);
+  Vec2 UniformInWorld();
+
+  Config cfg_;
+  Xoshiro256ss rng_;
+  std::vector<NodeState> nodes_;
+};
+
+class GaussMarkov final : public MobilityModel {
+ public:
+  struct Config {
+    Box world;
+    double mean_speed = 0.5;
+    double sigma = 0.25;    // per-axis velocity noise scale
+    double memory = 0.75;   // AR(1) coefficient in [0, 1)
+  };
+  GaussMarkov(Config cfg, std::uint64_t seed);
+
+  const Box& world() const override { return cfg_.world; }
+  void Init(std::span<const Vec2> pos) override;
+  void Step(double dt, std::span<Vec2> pos,
+            std::span<const char> active) override;
+  Vec2 Respawn(std::size_t i) override;
+
+ private:
+  struct NodeState {
+    Vec2 vel;       // current velocity
+    Vec2 mean_vel;  // the AR(1) attractor (random heading, mean_speed)
+  };
+  void Reseed(NodeState& s);
+
+  Config cfg_;
+  Xoshiro256ss rng_;
+  std::vector<NodeState> nodes_;
+};
+
+class ReferencePointGroup final : public MobilityModel {
+ public:
+  struct Config {
+    Box world;
+    int group_size = 8;   // nodes per group (last group may be smaller)
+    double vmin = 0.1;
+    double vmax = 1.0;    // reference-point waypoint speeds
+    double pause = 0.0;
+    double radius = 1.0;  // max member offset from the reference point
+  };
+  ReferencePointGroup(Config cfg, std::uint64_t seed);
+
+  const Box& world() const override { return cfg_.world; }
+  void Init(std::span<const Vec2> pos) override;
+  void Step(double dt, std::span<Vec2> pos,
+            std::span<const char> active) override;
+  Vec2 Respawn(std::size_t i) override;
+
+ private:
+  std::size_t GroupOf(std::size_t i) const {
+    return i / static_cast<std::size_t>(cfg_.group_size);
+  }
+  Vec2 JitterOffset(Vec2 offset, double dt);
+  Vec2 MemberPosition(std::size_t i) const;
+
+  Config cfg_;
+  Xoshiro256ss rng_;
+  RandomWaypoint refs_;            // reference points, one per group
+  std::vector<Vec2> ref_pos_;      // current reference-point positions
+  std::vector<char> ref_active_;   // all-ones (reference points never churn)
+  std::vector<Vec2> offset_;       // per-node offset from its reference
+};
+
+}  // namespace dcc::mobility

@@ -4,7 +4,9 @@
 // geometric postconditions for clustering, oracle coverage for the
 // broadcast problems, agreement for leader election.
 #include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <utility>
 
 #include "dcc/baselines/decay_global.h"
@@ -122,13 +124,13 @@ RunReport RunSnsOnce(RunContext& ctx) {
   // Oracle: which comm-graph member pairs exchanged the payload. The SNS
   // guarantee is unconditional only for constant-density participant sets;
   // coverage over a dense member set measures how far the schedule reaches.
+  // Receptions are recorded sparsely — a dense member x node matrix would
+  // be O(n^2) memory at the sizes the sweep layer runs.
   std::vector<char> is_member(ctx.net.size(), 0);
   for (const std::size_t idx : ctx.members) is_member[idx] = 1;
   std::size_t receptions = 0;
-  std::vector<std::vector<char>> heard(ctx.net.size());
-  for (const std::size_t idx : ctx.members) {
-    heard[idx].assign(ctx.net.size(), 0);
-  }
+  const std::uint64_t n64 = ctx.net.size();
+  std::unordered_set<std::uint64_t> heard;  // listener * n + sender index
   const Round rounds = bcast::RunSns(
       ctx.ex, ctx.prof, parts,
       [](std::size_t) {
@@ -138,8 +140,8 @@ RunReport RunSnsOnce(RunContext& ctx) {
       },
       [&](std::size_t listener, const sim::Message& m) {
         ++receptions;
-        if (!heard[listener].empty()) {
-          heard[listener][ctx.net.IndexOf(m.src)] = 1;
+        if (is_member[listener]) {
+          heard.insert(listener * n64 + ctx.net.IndexOf(m.src));
         }
       },
       ctx.nonce);
@@ -149,7 +151,7 @@ RunReport RunSnsOnce(RunContext& ctx) {
     for (const std::size_t v : ctx.net.CommGraph()[u]) {
       if (!is_member[v]) continue;
       ++comm_pairs;
-      covered_pairs += heard[u][v];
+      covered_pairs += heard.count(u * n64 + v);
     }
   }
   rep.ok = covered_pairs == comm_pairs;

@@ -7,17 +7,20 @@ namespace dcc::scenario {
 
 ParamMap ParamMap::Parse(const std::string& text, const std::string& context) {
   ParamMap out;
+  if (text.empty()) return out;
   std::size_t pos = 0;
-  while (pos < text.size()) {
+  for (;;) {
     std::size_t comma = text.find(',', pos);
     if (comma == std::string::npos) comma = text.size();
     const std::string item = text.substr(pos, comma - pos);
     const std::size_t eq = item.find('=');
+    // An empty item also rejects leading, doubled and trailing commas.
     if (item.empty() || eq == std::string::npos || eq == 0) {
       throw InvalidArgument(context + ": malformed parameter '" + item +
                             "' (expected key=value)");
     }
     out.Set(item.substr(0, eq), item.substr(eq + 1));
+    if (comma == text.size()) break;
     pos = comma + 1;
   }
   return out;

@@ -13,6 +13,17 @@ void RunReport::PrintJson(std::ostream& os) const {
   if (!error.empty()) os << ", \"error\": " << JsonQuote(error);
   os << ", \"metrics\": ";
   metrics.PrintJson(os);
+  if (!dynamic.empty()) {
+    os << ", \"dynamic\": {\"schema\": \"dcc.dynamic.v1\", \"model\": "
+       << JsonQuote(dynamic.model)
+       << ", \"epoch_len\": " << JsonNumber(dynamic.epoch_len)
+       << ", \"epochs\": [";
+    for (std::size_t i = 0; i < dynamic.epochs.size(); ++i) {
+      if (i) os << ", ";
+      dynamic.epochs[i].PrintJson(os);
+    }
+    os << "]}";
+  }
   os << '}';
 }
 

@@ -23,6 +23,17 @@ struct RunReport {
   std::string error;
   stats::Recorder metrics;
 
+  // Dynamic runs only ("dcc.dynamic.v1"): one metric set per epoch
+  // (rounds, clusters, unassigned, survival...). Static runs leave it
+  // empty and the JSON omits the section entirely.
+  struct DynamicSection {
+    std::string model;          // mobility model name
+    double epoch_len = 0.0;     // simulated time per epoch
+    std::vector<stats::Recorder> epochs;
+    bool empty() const { return epochs.empty(); }
+  };
+  DynamicSection dynamic;
+
   void PrintJson(std::ostream& os) const;
 };
 

@@ -9,6 +9,7 @@
 
 #include "dcc/cluster/validate.h"
 #include "dcc/common/rng.h"
+#include "dcc/scenario/dynamics.h"
 #include "dcc/workload/generators.h"
 
 namespace dcc::scenario {
@@ -42,6 +43,7 @@ std::vector<std::size_t> PickFaultNodes(std::size_t n, int count,
 }  // namespace
 
 RunReport RunScenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  if (IsDynamic(spec)) return RunDynamicScenario(spec, seed);
   RunReport rep;
   rep.topology = spec.topology;
   rep.algo = spec.algo;

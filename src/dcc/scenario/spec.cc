@@ -102,6 +102,12 @@ ScenarioSpec ScenarioSpec::FromArgs(const std::vector<std::string>& args) {
         spec.sweep_values.push_back(val.substr(pos, comma - pos));
         pos = comma + 1;
       }
+    } else if (key == "--dynamics") {
+      spec.dynamics = ParamMap::Parse(val, "--dynamics");
+      if (spec.dynamics.empty()) {
+        throw InvalidArgument("--dynamics: expected k=v,... (e.g. "
+                              "model=waypoint,epochs=8)");
+      }
     } else if (key == "--id-seed") {
       spec.id_seed = ParseUint64(val, key);
     } else if (key == "--nonce") {
@@ -183,6 +189,7 @@ std::vector<std::string> ScenarioSpec::ToArgs() const {
     }
     args.push_back(sw);
   }
+  if (!dynamics.empty()) args.push_back("--dynamics=" + dynamics.ToString());
   if (id_seed) args.push_back("--id-seed=" + std::to_string(*id_seed));
   if (nonce) args.push_back("--nonce=" + std::to_string(*nonce));
   if (sinr.alpha != def.alpha) {

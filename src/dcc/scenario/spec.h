@@ -41,6 +41,13 @@ struct ScenarioSpec {
   std::string sweep_key;
   std::vector<std::string> sweep_values;
 
+  // Dynamic scenario (empty = static run): mobility + churn parameters,
+  // e.g. model=waypoint,epochs=8,speed=0.5,churn=0.05. Driver keys (model,
+  // epochs, epoch_len, churn, join, side) are consumed by the dynamics
+  // runner, the rest by the mobility model's factory; unknown keys are
+  // rejected. See scenario/dynamics.h.
+  ParamMap dynamics;
+
   Round max_rounds = 0;  // 0 = per-algorithm default budget
   int faults = 0;        // always-on background transmitters (jammers)
   int threads = 0;       // sweep parallelism; 0 = hardware concurrency

@@ -18,17 +18,31 @@ void Exec::SetBackgroundTransmitters(std::vector<std::size_t> nodes,
   background_msg_ = msg;
 }
 
+void Exec::SetActivityMask(std::span<const char> mask) {
+  DCC_REQUIRE(mask.empty() || mask.size() == net_->size(),
+              "SetActivityMask: mask size must equal the node count");
+  active_ = mask;
+}
+
 int Exec::RunRound(const std::vector<std::size_t>& candidates,
                    const Decide& decide, const Hear& hear) {
   tx_.clear();
   msgs_.clear();
+  // Off nodes are filtered on the transmit side too (not just as
+  // listeners): a stale candidate list crossing a churn epoch must not put
+  // an index-erased node in front of the engine.
+  const auto on = [&](std::size_t i) {
+    return active_.empty() || active_[i];
+  };
   for (const std::size_t i : candidates) {
+    if (!on(i)) continue;
     if (auto m = decide(i)) {
       tx_.push_back(i);
       msgs_.push_back(*m);
     }
   }
   for (const std::size_t j : background_) {
+    if (!on(j)) continue;
     if (std::find(tx_.begin(), tx_.end(), j) == tx_.end()) {
       tx_.push_back(j);
       msgs_.push_back(background_msg_);
@@ -49,7 +63,7 @@ int Exec::RunRound(const std::vector<std::size_t>& candidates,
   listeners_.clear();
   const std::size_t n = net_->size();
   for (std::size_t u = 0; u < n; ++u) {
-    if (!is_tx_[u]) listeners_.push_back(u);
+    if (!is_tx_[u] && (active_.empty() || active_[u])) listeners_.push_back(u);
   }
   engine_.StepInto(tx_, listeners_, receptions_);
   if (observer_) observer_(round_ - 1, tx_, receptions_);

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "dcc/sim/message.h"
@@ -68,6 +69,15 @@ class Exec {
   void SetBackgroundTransmitters(std::vector<std::size_t> nodes, Message msg);
   void ClearBackgroundTransmitters() { background_.clear(); }
 
+  // Churn (dynamic networks): nodes with mask[i] == 0 are *off* — they
+  // neither transmit (candidates and background transmitters are filtered)
+  // nor listen, exactly as if powered down, and they may be absent from
+  // the engine's spatial index. The mask must outlive the rounds run under
+  // it; an empty span restores the everyone-on default. Protocol code
+  // stays unaware: departed nodes simply drop out of the member sets the
+  // scenario layer passes in.
+  void SetActivityMask(std::span<const char> mask);
+
  private:
   const sinr::Network* net_;
   sinr::Engine engine_;
@@ -84,6 +94,7 @@ class Exec {
   Observer observer_;
   std::vector<std::size_t> background_;
   Message background_msg_;
+  std::span<const char> active_;  // empty = all nodes on
 };
 
 // --- Per-node protocol interface (used by baselines and examples). ---

@@ -133,8 +133,8 @@ bool HasAvx512() {
 #endif
 }
 
-double AutoCell(const Network& net) {
-  const Box box = BoundingBox(net.positions());
+double AutoCell(const Network& net, const std::optional<Box>& coverage) {
+  const Box box = coverage ? *coverage : BoundingBox(net.positions());
   const double area = (box.hi.x - box.lo.x) * (box.hi.y - box.lo.y);
   if (net.size() == 0 || area <= 0.0) return 1.0;
   // Aim for ~64 nodes per tile under uniform density, with tiles no smaller
@@ -184,8 +184,14 @@ Engine::Engine(const Network& net, Options options)
       break;
   }
   if (mode_ == Mode::kGrid) {
-    const double cell = options_.cell > 0.0 ? options_.cell : AutoCell(net);
-    grid_.emplace(std::span<const Vec2>(net.positions()), cell);
+    const double cell =
+        options_.cell > 0.0 ? options_.cell : AutoCell(net, options_.coverage);
+    if (options_.coverage) {
+      grid_.emplace(std::span<const Vec2>(net.positions()), cell,
+                    *options_.coverage);
+    } else {
+      grid_.emplace(std::span<const Vec2>(net.positions()), cell);
+    }
     near_radius_ = std::max(cell, 2.0);
     far_start_ = 2.0 * near_radius_;
     if (typeid(net.propagation()) == typeid(PathLossModel)) {
@@ -200,6 +206,22 @@ Engine::Engine(const Network& net, Options options)
     tile_close_end_.assign(tiles, 0);
   }
   is_tx_.assign(net.size(), 0);
+}
+
+void Engine::SyncIndex() {
+  if (!grid_) return;
+  const auto& pos = net_->positions();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (grid_->Contains(i)) grid_->Move(i, pos[i]);
+  }
+}
+
+void Engine::IndexErase(std::size_t i) {
+  if (grid_) grid_->Erase(i);
+}
+
+void Engine::IndexInsert(std::size_t i) {
+  if (grid_) grid_->Insert(i, net_->position(i));
 }
 
 std::vector<Reception> Engine::Step(

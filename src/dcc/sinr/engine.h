@@ -56,6 +56,12 @@ class Engine {
     double cell = 0.0;
     // kAuto switches to kGrid for networks larger than this.
     std::size_t grid_threshold = Network::kGainMatrixLimit;
+    // Spatial-index coverage area for dynamic networks: positions may move
+    // anywhere inside this box without outgrowing the index. Defaults to
+    // the bounding box of the construction-time positions (static runs).
+    // Not part of the flag grammar — set programmatically (scenario
+    // dynamics passes its world box).
+    std::optional<Box> coverage;
 
     // Options overridden from the environment (benches and dcc_run):
     //   DCC_ENGINE_MODE = exact | grid | auto   (default auto)
@@ -96,6 +102,28 @@ class Engine {
   // The resolved strategy (never kAuto).
   Mode mode() const { return mode_; }
   const Options& options() const { return options_; }
+
+  // --- Dynamic networks: spatial-index maintenance. ---
+  // The grid built at construction tracks the network's positions; after
+  // the network mutates (Network::SetPositions / churn), reconcile the
+  // index before the next Step. All three are O(changed points) bucket
+  // updates — never a rebuild — and no-ops in exact mode.
+
+  // Re-tiles every indexed point whose position changed tiles. Call after
+  // a bulk Network::SetPositions.
+  void SyncIndex();
+
+  // Removes node i from the index (churn leave). Until re-inserted, i must
+  // not appear as a transmitter or listener in grid-mode Steps.
+  void IndexErase(std::size_t i);
+
+  // Restores node i at its current network position (churn join; pair with
+  // Network::SetPosition for the respawn point).
+  void IndexInsert(std::size_t i);
+
+  // Live points in the index (== net().size() minus erased nodes); 0 in
+  // exact mode, where no index exists.
+  std::size_t IndexSize() const { return grid_ ? grid_->point_count() : 0; }
 
   // Cumulative counters (diagnostics for benches).
   struct Stats {

@@ -1,0 +1,201 @@
+#include "dcc/mobility/churn.h"
+#include "dcc/mobility/models.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dcc/common/rng.h"
+
+namespace dcc::mobility {
+namespace {
+
+constexpr Box kWorld{{0.0, 0.0}, {10.0, 10.0}};
+
+std::vector<Vec2> RandomPlacement(std::size_t n, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({10.0 * rng.NextDouble(), 10.0 * rng.NextDouble()});
+  }
+  return pts;
+}
+
+bool InWorld(Vec2 p) {
+  return p.x >= kWorld.lo.x && p.x <= kWorld.hi.x && p.y >= kWorld.lo.y &&
+         p.y <= kWorld.hi.y;
+}
+
+template <typename Model>
+void ExpectConfined(Model& model, int steps) {
+  auto pos = RandomPlacement(40, 1);
+  const std::vector<char> active(pos.size(), 1);
+  model.Init(pos);
+  for (int s = 0; s < steps; ++s) {
+    model.Step(1.0, pos, active);
+    for (const Vec2 p : pos) {
+      ASSERT_TRUE(InWorld(p)) << "(" << p.x << ", " << p.y << ") step " << s;
+    }
+  }
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_TRUE(InWorld(model.Respawn(i)));
+  }
+}
+
+TEST(MobilityTest, WaypointStaysInWorld) {
+  RandomWaypoint m({kWorld, 0.5, 3.0, 0.5}, 7);
+  ExpectConfined(m, 50);
+}
+
+TEST(MobilityTest, GaussMarkovStaysInWorld) {
+  GaussMarkov m({kWorld, 2.0, 1.0, 0.5}, 7);
+  ExpectConfined(m, 50);
+}
+
+TEST(MobilityTest, GroupStaysInWorld) {
+  ReferencePointGroup m({kWorld, 7, 0.5, 3.0, 0.0, 1.5}, 7);
+  ExpectConfined(m, 50);
+}
+
+TEST(MobilityTest, WaypointRespectsSpeedBound) {
+  const double vmax = 1.25;
+  RandomWaypoint m({kWorld, 0.25, vmax, 0.0}, 3);
+  auto pos = RandomPlacement(32, 2);
+  auto prev = pos;
+  const std::vector<char> active(pos.size(), 1);
+  m.Init(pos);
+  for (int s = 0; s < 30; ++s) {
+    const double dt = 0.5 + 0.1 * s;
+    m.Step(dt, pos, active);
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      EXPECT_LE(Dist(prev[i], pos[i]), vmax * dt + 1e-9);
+    }
+    prev = pos;
+  }
+}
+
+TEST(MobilityTest, TrajectoriesAreSeedDeterministic) {
+  const auto init = RandomPlacement(24, 4);
+  const std::vector<char> active(init.size(), 1);
+  const auto run = [&](std::uint64_t seed) {
+    GaussMarkov m({kWorld, 1.0, 0.5, 0.5}, seed);
+    auto pos = init;
+    m.Init(pos);
+    for (int s = 0; s < 20; ++s) m.Step(1.0, pos, active);
+    return pos;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(MobilityTest, InactiveNodesDoNotMove) {
+  RandomWaypoint m({kWorld, 0.5, 2.0, 0.0}, 5);
+  auto pos = RandomPlacement(16, 6);
+  std::vector<char> active(pos.size(), 1);
+  for (std::size_t i = 0; i < active.size(); i += 2) active[i] = 0;
+  m.Init(pos);
+  const auto before = pos;
+  for (int s = 0; s < 10; ++s) m.Step(1.0, pos, active);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (!active[i]) {
+      EXPECT_EQ(pos[i], before[i]);
+    } else {
+      EXPECT_NE(pos[i], before[i]);
+    }
+  }
+}
+
+TEST(MobilityTest, GroupMembersStayCohesive) {
+  const double radius = 1.25;
+  ReferencePointGroup m({kWorld, 5, 0.5, 2.0, 0.0, radius}, 9);
+  auto pos = RandomPlacement(25, 8);
+  const std::vector<char> active(pos.size(), 1);
+  m.Init(pos);
+  for (int s = 0; s < 40; ++s) {
+    m.Step(1.0, pos, active);
+    // Every member sits within `radius` of its group's reference point, so
+    // group-mates are within 2 * radius of each other (clamping into the
+    // world box only ever pulls members closer to the interior).
+    for (std::size_t g = 0; g < 5; ++g) {
+      for (std::size_t i = 5 * g; i < 5 * g + 5; ++i) {
+        for (std::size_t j = i + 1; j < 5 * g + 5; ++j) {
+          EXPECT_LE(Dist(pos[i], pos[j]), 2.0 * radius + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(MobilityTest, ExtremeSpeedsFoldInsteadOfHanging) {
+  // A pathological (finite) speed must terminate in O(1) per node and
+  // still confine positions — the reflection folds through the box period
+  // rather than bouncing iteratively.
+  GaussMarkov m({kWorld, 1.0e300, 0.0, 0.0}, 11);
+  auto pos = RandomPlacement(8, 10);
+  const std::vector<char> active(pos.size(), 1);
+  m.Init(pos);
+  for (int s = 0; s < 5; ++s) {
+    m.Step(1.0, pos, active);
+    for (const Vec2 p : pos) ASSERT_TRUE(InWorld(p));
+  }
+  EXPECT_THROW(
+      GaussMarkov({kWorld, std::numeric_limits<double>::infinity(), 0.0, 0.0},
+                  1),
+      InvalidArgument);
+}
+
+TEST(MobilityTest, RejectsBadConfigs) {
+  EXPECT_THROW(RandomWaypoint({kWorld, 0.0, 1.0, 0.0}, 1), InvalidArgument);
+  EXPECT_THROW(RandomWaypoint({kWorld, 2.0, 1.0, 0.0}, 1), InvalidArgument);
+  EXPECT_THROW(GaussMarkov({kWorld, 1.0, 0.5, 1.0}, 1), InvalidArgument);
+  EXPECT_THROW(ReferencePointGroup({kWorld, 0, 0.5, 1.0, 0.0, 1.0}, 1),
+               InvalidArgument);
+}
+
+TEST(ChurnTest, NeverDrainsTheNetwork) {
+  ChurnProcess churn(50.0, 0.0, 3);  // leave probability ~ 1 per epoch
+  std::vector<char> active(20, 1);
+  ChurnProcess::Delta delta;
+  for (int e = 0; e < 10; ++e) {
+    churn.Step(1.0, active, delta);
+  }
+  int remaining = 0;
+  for (const char a : active) remaining += a;
+  EXPECT_EQ(remaining, 1);
+}
+
+TEST(ChurnTest, DeltaMatchesMaskChanges) {
+  ChurnProcess churn(0.3, 0.4, 5);
+  std::vector<char> active(64, 1);
+  ChurnProcess::Delta delta;
+  for (int e = 0; e < 25; ++e) {
+    const auto before = active;
+    churn.Step(1.0, active, delta);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const bool left = before[i] && !active[i];
+      const bool joined = !before[i] && active[i];
+      EXPECT_EQ(left, std::find(delta.left.begin(), delta.left.end(), i) !=
+                          delta.left.end());
+      EXPECT_EQ(joined, std::find(delta.joined.begin(), delta.joined.end(),
+                                  i) != delta.joined.end());
+    }
+  }
+}
+
+TEST(ChurnTest, ZeroRatesAreQuiescent) {
+  ChurnProcess churn(0.0, 0.0, 6);
+  std::vector<char> active(16, 1);
+  active[3] = 0;
+  ChurnProcess::Delta delta;
+  churn.Step(1.0, active, delta);
+  EXPECT_TRUE(delta.left.empty());
+  EXPECT_TRUE(delta.joined.empty());
+  EXPECT_EQ(active[3], 0);
+}
+
+}  // namespace
+}  // namespace dcc::mobility

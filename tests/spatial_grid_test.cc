@@ -106,5 +106,109 @@ TEST(SpatialGridTest, RejectsNonPositiveCell) {
   EXPECT_THROW(SpatialGrid(pts, 0.0), InvalidArgument);
 }
 
+// --- Incremental maintenance (dynamic networks). ---
+
+// Structural equivalence of two grids over the same index space: same live
+// set, same tile per live point, identical member sets per tile and
+// identical occupied lists.
+void ExpectEquivalent(const SpatialGrid& a, const SpatialGrid& b) {
+  ASSERT_EQ(a.tile_count(), b.tile_count());
+  ASSERT_EQ(a.point_count(), b.point_count());
+  const std::size_t bound = std::max(a.index_bound(), b.index_bound());
+  for (std::size_t i = 0; i < bound; ++i) {
+    ASSERT_EQ(a.Contains(i), b.Contains(i)) << "slot " << i;
+    if (a.Contains(i)) {
+      EXPECT_EQ(a.TileOfPoint(i), b.TileOfPoint(i)) << "slot " << i;
+    }
+  }
+  for (int t = 0; t < a.tile_count(); ++t) {
+    std::vector<std::size_t> ma(a.Members(t).begin(), a.Members(t).end());
+    std::vector<std::size_t> mb(b.Members(t).begin(), b.Members(t).end());
+    std::sort(ma.begin(), ma.end());
+    std::sort(mb.begin(), mb.end());
+    EXPECT_EQ(ma, mb) << "tile " << t;
+  }
+  EXPECT_EQ(a.occupied(), b.occupied());
+}
+
+TEST(SpatialGridIncrementalTest, RandomizedOpsMatchFreshBuild) {
+  const double side = 9.0;
+  const Box world{{0.0, 0.0}, {side, side}};
+  auto pts = RandomPoints(160, side, 10);
+  SpatialGrid grid(pts, 1.7, world);
+
+  Xoshiro256ss rng(11);
+  std::vector<char> live(pts.size(), 1);
+  for (int op = 0; op < 4000; ++op) {
+    const auto i = static_cast<std::size_t>(rng.NextBelow(pts.size()));
+    const int kind = static_cast<int>(rng.NextBelow(4));
+    if (kind == 3 && live[i]) {
+      grid.Erase(i);
+      live[i] = 0;
+    } else {
+      const Vec2 p{side * rng.NextDouble(), side * rng.NextDouble()};
+      pts[i] = p;
+      if (live[i]) {
+        grid.Move(i, p);
+      } else {
+        grid.Insert(i, p);
+        live[i] = 1;
+      }
+    }
+    if (op % 500 != 499) continue;
+    // A fresh build over the same positions with the same slots erased must
+    // be indistinguishable from the incrementally maintained grid.
+    SpatialGrid fresh(pts, 1.7, world);
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      if (!live[j]) fresh.Erase(j);
+    }
+    ExpectEquivalent(grid, fresh);
+  }
+}
+
+TEST(SpatialGridIncrementalTest, InsertExtendsTheIndexSpace) {
+  const Box world{{0.0, 0.0}, {4.0, 4.0}};
+  const auto pts = RandomPoints(5, 4.0, 12);
+  SpatialGrid grid(pts, 1.0, world);
+  EXPECT_FALSE(grid.Contains(9));
+  grid.Insert(9, {3.5, 3.5});  // slots 5..8 stay erased
+  EXPECT_TRUE(grid.Contains(9));
+  EXPECT_FALSE(grid.Contains(7));
+  EXPECT_EQ(grid.point_count(), 6u);
+  EXPECT_EQ(grid.TileOfPoint(9), grid.TileAt({3.5, 3.5}));
+}
+
+TEST(SpatialGridIncrementalTest, RejectsInvalidOps) {
+  const Box world{{0.0, 0.0}, {4.0, 4.0}};
+  const auto pts = RandomPoints(6, 4.0, 13);
+  SpatialGrid grid(pts, 1.0, world);
+  EXPECT_THROW(grid.Move(0, {17.0, 1.0}), InvalidArgument);  // outside coverage
+  EXPECT_THROW(grid.Insert(0, {1.0, 1.0}), InvalidArgument);  // already live
+  grid.Erase(0);
+  EXPECT_THROW(grid.Erase(0), InvalidArgument);         // already erased
+  EXPECT_THROW(grid.Move(0, {1.0, 1.0}), InvalidArgument);  // erased slot
+  // Coverage-box constructor rejects points outside the box.
+  EXPECT_THROW(SpatialGrid(pts, 1.0, Box{{0.0, 0.0}, {0.5, 0.5}}),
+               InvalidArgument);
+}
+
+TEST(SpatialGridIncrementalTest, OccupiedStaysExactUnderMutation) {
+  const Box world{{0.0, 0.0}, {6.0, 6.0}};
+  auto pts = RandomPoints(12, 6.0, 14);
+  SpatialGrid grid(pts, 2.0, world);
+  // Collapse everything into one corner tile, then fan back out.
+  for (std::size_t i = 0; i < pts.size(); ++i) grid.Move(i, {0.1, 0.1});
+  EXPECT_EQ(grid.occupied(), std::vector<int>{0});
+  Xoshiro256ss rng(15);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    grid.Move(i, {6.0 * rng.NextDouble(), 6.0 * rng.NextDouble()});
+  }
+  std::vector<int> expect;
+  for (int t = 0; t < grid.tile_count(); ++t) {
+    if (!grid.Members(t).empty()) expect.push_back(t);
+  }
+  EXPECT_EQ(grid.occupied(), expect);
+}
+
 }  // namespace
 }  // namespace dcc

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "dcc/scenario/dynamics.h"
 #include "dcc/scenario/scenario.h"
 
 namespace {
@@ -29,6 +30,12 @@ void PrintUsage(std::ostream& os) {
         "  --sweep=KEY:V1,V2,...      size grid: sweep one topology param\n"
         "                             across values, crossed with --seeds\n"
         "  --id-seed=U --nonce=U      replay overrides (seed+1 / seed+2)\n"
+        "  --dynamics=k=v,...         dynamic run: mobility + churn, one\n"
+        "                             re-clustering per epoch. Driver keys:\n"
+        "                             model=waypoint|walk|group, epochs=8,\n"
+        "                             epoch_len=1, churn=0, join=churn,\n"
+        "                             side=0 (0: bounding box); model keys\n"
+        "                             per `--list` (unknown keys rejected)\n"
         "  --alpha= --beta= --eps= --noise= --power=   SINR model\n"
         "  --id-space=N               ID space upper bound (65536)\n"
         "  --shadowing=SPREAD[:SEED]  deterministic per-link shadowing (off)\n"
@@ -40,7 +47,8 @@ void PrintUsage(std::ostream& os) {
         "  --threads=T                sweep workers (hardware)\n"
         "\n"
         "driver flags:\n"
-        "  --list --json=PATH --quiet --help\n"
+        "  --list --json=PATH --quiet --help   (--json=- writes the report\n"
+        "                             to stdout and implies --quiet)\n"
         "\n"
         "run `dcc_run --list` for registered topologies/algorithms.\n";
 }
@@ -52,6 +60,11 @@ void PrintRegistries(std::ostream& os) {
   }
   os << "algorithms:\n";
   for (const auto& [name, help] : dcc::scenario::Algorithms().List()) {
+    os << "  " << name << "\n      " << help << '\n';
+  }
+  os << "mobility models (--dynamics=model=NAME,...; driver keys: model, "
+        "epochs, epoch_len, churn, join, side):\n";
+  for (const auto& [name, help] : dcc::scenario::MobilityModels().List()) {
     os << "  " << name << "\n      " << help << '\n';
   }
 }
@@ -80,6 +93,9 @@ int main(int argc, char** argv) {
         std::cerr << "dcc_run: --json= needs a path (use - for stdout)\n";
         return 2;
       }
+      // JSON on stdout must stay machine-parseable: suppress the text
+      // summary instead of interleaving it.
+      if (json_path == "-") quiet = true;
     } else {
       spec_args.push_back(arg);
     }
