@@ -1,0 +1,164 @@
+// bench_parallel_rounds — the scaling axis of the sharded round engine:
+// one grid-mode SINR round decomposed across K shards on the shared
+// WorkerPool, versus the same round serial.
+//
+// For each n in {4096, 16384, 65536} (--full extends the ladder to 262144
+// and 1048576) and each transmitter regime — dense (every 8th node
+// transmits, the acceptance-target workload) and sparse (every 64th) —
+// the bench walks a thread ladder {1, 2, 4, ..., hw}: it first pins the
+// parallel round's receptions bit-identical to threads=1, then times
+// ms/round and reports the speedup over the serial engine. Per-shard
+// cumulative loads come straight from Engine::Stats.
+//
+// Output: a human table by default; with --compare_json, one JSON object
+// per line (dcc.bench.parallel_rounds.v1) — CI uploads this as
+// BENCH_parallel.json so the bench trajectory has per-commit data points.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dcc/parallel/worker_pool.h"
+#include "dcc/sinr/engine.h"
+#include "dcc/workload/generators.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dcc::sinr::Engine;
+using dcc::sinr::Network;
+using dcc::sinr::Reception;
+
+Network MakeNet(int n) {
+  dcc::sinr::Params params = dcc::sinr::Params::Default();
+  params.id_space = std::max<std::int64_t>(4 * n, 1 << 16);
+  auto pts = dcc::workload::UniformSquare(
+      n, std::sqrt(static_cast<double>(n)), 42);
+  return dcc::workload::MakeNetwork(std::move(pts), params, 7);
+}
+
+void Split(std::size_t n, std::size_t period, std::vector<std::size_t>& tx,
+           std::vector<std::size_t>& listeners) {
+  tx.clear();
+  listeners.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    (i % period == 0 ? tx : listeners).push_back(i);
+  }
+}
+
+bool SameReceptions(const std::vector<Reception>& a,
+                    const std::vector<Reception>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].listener != b[i].listener || a[i].sender != b[i].sender ||
+        a[i].sinr != b[i].sinr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ms per round, over enough rounds to fill ~300 ms of wall clock.
+double TimeRounds(const Engine& eng, const std::vector<std::size_t>& tx,
+                  const std::vector<std::size_t>& listeners) {
+  std::vector<Reception> out;
+  const auto w0 = Clock::now();
+  eng.StepInto(tx, listeners, out);  // warmup sizes the scratch
+  const double warm_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - w0).count();
+  const int rounds = std::max(3, static_cast<int>(300.0 / (warm_ms + 0.01)));
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) eng.StepInto(tx, listeners, out);
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return ms / rounds;
+}
+
+std::vector<int> ThreadLadder() {
+  const int hw = dcc::parallel::WorkerPool::Shared().parallelism();
+  std::vector<int> ladder{1, 2};
+  for (int t = 4; t <= hw; t *= 2) ladder.push_back(t);
+  if (std::find(ladder.begin(), ladder.end(), hw) == ladder.end()) {
+    ladder.push_back(hw);
+  }
+  std::sort(ladder.begin(), ladder.end());
+  return ladder;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare_json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      std::cerr << "usage: bench_parallel_rounds [--compare_json] [--full]\n";
+      return 2;
+    }
+  }
+
+  std::vector<int> sizes{4096, 16384, 65536};
+  if (full) {
+    sizes.push_back(262144);
+    sizes.push_back(1048576);
+  }
+  const std::vector<int> ladder = ThreadLadder();
+
+  if (!json) {
+    std::cout << "parallel sharded rounds (grid engine, shared pool; hw "
+                 "parallelism "
+              << dcc::parallel::WorkerPool::Shared().parallelism() << ")\n"
+              << "      n  regime   threads  ms/round   speedup  identical\n";
+  }
+
+  int bad = 0;
+  for (const int n : sizes) {
+    const Network net = MakeNet(n);
+    std::vector<std::size_t> tx, listeners;
+    for (const auto& [regime, period] :
+         {std::pair<const char*, std::size_t>{"dense", 8},
+          std::pair<const char*, std::size_t>{"sparse", 64}}) {
+      Split(net.size(), period, tx, listeners);
+      const Engine serial(net, {.mode = Engine::Mode::kGrid});
+      const std::vector<Reception> want = serial.Step(tx, listeners);
+      const double serial_ms = TimeRounds(serial, tx, listeners);
+      for (const int threads : ladder) {
+        Engine::Options opts{.mode = Engine::Mode::kGrid};
+        opts.threads = threads;
+        const Engine par(net, opts);
+        const bool identical = SameReceptions(want, par.Step(tx, listeners));
+        bad += identical ? 0 : 1;
+        const double ms =
+            threads == 1 ? serial_ms : TimeRounds(par, tx, listeners);
+        const double speedup = serial_ms / ms;
+        if (json) {
+          std::cout << "{\"schema\": \"dcc.bench.parallel_rounds.v1\", "
+                    << "\"n\": " << n << ", \"regime\": \"" << regime
+                    << "\", \"tx\": " << tx.size()
+                    << ", \"listeners\": " << listeners.size()
+                    << ", \"threads\": " << threads << ", \"ms_per_round\": "
+                    << ms << ", \"speedup\": " << speedup
+                    << ", \"identical\": " << (identical ? "true" : "false")
+                    << "}\n";
+        } else {
+          std::printf("%7d  %-7s  %7d  %8.3f  %7.2fx  %s\n", n, regime,
+                      threads, ms, speedup, identical ? "yes" : "NO");
+        }
+      }
+    }
+  }
+  if (bad > 0) {
+    std::cerr << "bench_parallel_rounds: " << bad
+              << " configurations diverged from serial receptions\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "dcc/parallel/worker_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace dcc::parallel {
+
+namespace {
+
+// Identifies the pool whose job the current thread is running (nullptr
+// outside any job). A plain thread_local pointer: a thread runs jobs of at
+// most one pool at a time, because nested Run calls go inline.
+thread_local const WorkerPool* t_running_pool = nullptr;
+
+}  // namespace
+
+struct WorkerPool::Task {
+  const std::function<void(std::size_t)>* fn;
+  std::size_t n_jobs;
+  std::atomic<std::size_t> next{0};  // job dispenser
+  int slots;        // worker participation budget (guarded by pool mu_)
+  int active = 0;   // workers currently inside DrainJobs (guarded by mu_)
+  std::mutex error_mu;
+  std::exception_ptr error;  // first job exception (guarded by error_mu)
+};
+
+WorkerPool::WorkerPool(int workers) {
+  threads_.reserve(workers > 0 ? static_cast<std::size_t>(workers) : 0);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+WorkerPool& WorkerPool::Shared() {
+  // Leaked on purpose: joining workers from a static destructor while other
+  // statics may still Run is a shutdown hazard with zero upside.
+  static WorkerPool* pool = new WorkerPool(
+      static_cast<int>(std::thread::hardware_concurrency() > 1
+                           ? std::thread::hardware_concurrency() - 1
+                           : 0));
+  return *pool;
+}
+
+bool WorkerPool::OnWorkerThread() const { return t_running_pool == this; }
+
+void WorkerPool::DrainJobs(Task& task) {
+  for (;;) {
+    const std::size_t i = task.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= task.n_jobs) return;
+    try {
+      (*task.fn)(i);
+    } catch (...) {
+      // The first error wins; stop dispensing further jobs so the fan-out
+      // drains quickly (jobs already running finish normally). The caller
+      // reads `error` only after the completion barrier.
+      task.next.store(task.n_jobs, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(task.error_mu);
+      if (!task.error) task.error = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (task_ != nullptr && generation_ != seen);
+    });
+    if (stop_) return;
+    seen = generation_;
+    Task* task = task_;
+    if (task->slots <= 0) continue;  // task fully staffed
+    --task->slots;
+    ++task->active;
+    lock.unlock();
+    t_running_pool = this;
+    DrainJobs(*task);
+    t_running_pool = nullptr;
+    lock.lock();
+    if (--task->active == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::Run(std::size_t n_jobs,
+                     const std::function<void(std::size_t)>& fn,
+                     int max_workers) {
+  if (n_jobs == 0) return;
+  const bool inline_only = OnWorkerThread() || threads_.empty() ||
+                           n_jobs == 1 || max_workers == 1;
+  if (inline_only) {
+    for (std::size_t i = 0; i < n_jobs; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Task task;
+  task.fn = &fn;
+  task.n_jobs = n_jobs;
+  // The caller occupies one participation slot; workers take the rest, and
+  // never more than there are jobs left to hand out.
+  int worker_cap = max_workers > 0 ? max_workers - 1
+                                   : static_cast<int>(threads_.size());
+  if (static_cast<std::size_t>(worker_cap) > n_jobs - 1) {
+    worker_cap = static_cast<int>(n_jobs - 1);
+  }
+  task.slots = worker_cap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates like any worker — including the re-entrancy
+  // marker, so a job it runs that fans out again goes inline instead of
+  // self-deadlocking on run_mu_.
+  t_running_pool = this;
+  DrainJobs(task);
+  t_running_pool = nullptr;
+
+  // The caller drained the dispenser (next >= n_jobs), so completion is
+  // exactly "no worker still inside a job". A worker can only join while
+  // task_ is published, and both the join and the un-publish below happen
+  // under mu_ — so after this wait no thread can touch `task` again. The
+  // same mutex hand-off makes every job's writes visible to the caller.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return task.active == 0; });
+  task_ = nullptr;
+  lock.unlock();
+
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+}  // namespace dcc::parallel

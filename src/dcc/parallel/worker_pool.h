@@ -1,0 +1,83 @@
+// A persistent worker pool for data-parallel fan-out: Run(n, fn) executes
+// fn(0..n-1) across the pool's threads plus the calling thread, blocking
+// until every job finished. One process-wide pool (`WorkerPool::Shared()`,
+// sized once to the hardware concurrency) backs both the scenario sweep
+// loop and the engine's sharded rounds, so neither pays thread creation or
+// teardown per call — the cost that made the old per-sweep pool a wash for
+// short sweeps and ruled out per-round parallelism entirely.
+//
+// Semantics:
+//  * Jobs are independent; the pool guarantees nothing about which thread
+//    runs which job, so callers needing determinism must make each job a
+//    pure function of its index (the engine's shard workers are).
+//  * Run is serialized: concurrent top-level Run calls queue on an internal
+//    mutex and execute one fan-out at a time.
+//  * Re-entrant Run — a job calling Run on the same pool — degrades to an
+//    inline serial loop instead of deadlocking. Nested parallelism (a
+//    parallel engine inside a parallel sweep) therefore parallelizes at
+//    the outermost level only, by design.
+//  * The first exception thrown by a job is captured and rethrown from Run
+//    after all jobs drain; later exceptions are dropped.
+//  * Run establishes a full happens-before edge: everything jobs wrote is
+//    visible to the caller when Run returns.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcc::parallel {
+
+class WorkerPool {
+ public:
+  // Spawns `workers` threads. The calling thread of Run also executes jobs,
+  // so parallelism() == workers + 1; workers == 0 is a valid (serial) pool.
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // The process-wide pool, sized once on first use to
+  // hardware_concurrency() - 1 workers (never negative). Lives for the
+  // process; intentionally leaked so late static destructors can still
+  // call into it.
+  static WorkerPool& Shared();
+
+  // Max threads a Run can occupy (pool workers + the caller).
+  int parallelism() const { return static_cast<int>(threads_.size()) + 1; }
+
+  // Runs fn(i) for i in [0, n_jobs), returning when all completed. At most
+  // max_workers threads participate (0 = no cap beyond parallelism());
+  // max_workers == 1, a 0-worker pool, n_jobs <= 1, and re-entrant calls
+  // all run the loop inline on the caller.
+  void Run(std::size_t n_jobs, const std::function<void(std::size_t)>& fn,
+           int max_workers = 0);
+
+  // True while the calling thread is executing a job of this pool (the
+  // re-entrancy test Run uses).
+  bool OnWorkerThread() const;
+
+ private:
+  struct Task;
+
+  void WorkerLoop();
+  // Pulls job indices from the task until exhausted; records the first
+  // exception. Returns after contributing to `completed`.
+  static void DrainJobs(Task& task);
+
+  std::vector<std::thread> threads_;
+  std::mutex run_mu_;  // serializes top-level Run calls
+
+  std::mutex mu_;  // guards task_, generation_, stop_, Task bookkeeping
+  std::condition_variable work_cv_;  // workers: new task or shutdown
+  std::condition_variable done_cv_;  // caller: task fully drained
+  Task* task_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumped per task so workers join each once
+  bool stop_ = false;
+};
+
+}  // namespace dcc::parallel

@@ -232,6 +232,9 @@ RunReport RunDynamicScenario(const ScenarioSpec& spec, std::uint64_t seed) {
       rep.metrics.Set("joined_total", static_cast<double>(joined_total));
       rep.metrics.Set("left_total", static_cast<double>(left_total));
     }
+    // The Exec (and its engine's shard pool and scratch) persisted across
+    // every epoch; the section aggregates all of them.
+    FillParallelSection(rep, ex.engine());
   } catch (const std::exception& e) {
     rep.ok = false;
     rep.error = e.what();

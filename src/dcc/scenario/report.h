@@ -11,6 +11,10 @@
 
 #include "dcc/stats/recorder.h"
 
+namespace dcc::sinr {
+class Engine;
+}  // namespace dcc::sinr
+
 namespace dcc::scenario {
 
 struct RunReport {
@@ -34,8 +38,31 @@ struct RunReport {
   };
   DynamicSection dynamic;
 
+  // Parallel engines only ("dcc.parallel.v1", emitted when the run's
+  // engine decomposed rounds into shards): how the round work spread
+  // across them. Serial runs leave it empty and the JSON omits the
+  // section entirely.
+  struct ParallelSection {
+    int threads = 0;  // resolved shard count (Engine::threads())
+    std::int64_t rounds_parallel = 0;  // rounds dispatched across shards
+    // Rounds a parallel engine ran inline because dispatching could not
+    // win: under the listener grain, an indivisible tile plan, or the
+    // engine nested inside a pool-occupying sweep.
+    std::int64_t rounds_serial = 0;
+    // Cumulative listeners resolved by each shard index, and the load
+    // skew max/mean (1 = perfectly balanced; 0 when no round dispatched).
+    std::vector<std::int64_t> shard_load;
+    double imbalance = 0.0;
+    bool empty() const { return threads == 0; }
+  };
+  ParallelSection parallel;
+
   void PrintJson(std::ostream& os) const;
 };
+
+// Fills rep.parallel from a parallel engine's cumulative stats; a no-op
+// for serial engines (threads() <= 1), leaving the section empty.
+void FillParallelSection(RunReport& rep, const sinr::Engine& engine);
 
 // Sweep envelope ("dcc.sweep.v1"): the canonical spec line + all runs.
 void PrintSweepJson(std::ostream& os, const std::string& spec_line,

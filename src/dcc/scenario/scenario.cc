@@ -1,14 +1,13 @@
 #include "dcc/scenario/scenario.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 #include <numeric>
-#include <thread>
 #include <utility>
 
 #include "dcc/cluster/validate.h"
 #include "dcc/common/rng.h"
+#include "dcc/parallel/worker_pool.h"
 #include "dcc/scenario/dynamics.h"
 #include "dcc/workload/generators.h"
 
@@ -103,6 +102,7 @@ RunReport RunScenario(const ScenarioSpec& spec, std::uint64_t seed) {
       rep.metrics.Set(key, value);
     }
     rep.metrics.Set("rounds_total", static_cast<double>(ex.rounds()));
+    FillParallelSection(rep, ex.engine());
   } catch (const std::exception& e) {
     rep.ok = false;
     rep.error = e.what();
@@ -139,27 +139,13 @@ std::vector<RunReport> RunSweep(const ScenarioSpec& spec) {
     }
   };
 
-  std::size_t workers = spec.threads > 0
-                            ? static_cast<std::size_t>(spec.threads)
-                            : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, jobs.size());
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
-    return out;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= jobs.size()) return;
-        run_job(i);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  // One sized-once pool for the whole process: sweeps and the engine's
+  // sharded rounds draw from the same threads instead of constructing and
+  // tearing down a private pool per call. With more jobs than workers the
+  // sweep occupies the pool and each run's engine executes serially
+  // (nested Run calls go inline); a single-job "sweep" leaves the pool to
+  // the engine.
+  parallel::WorkerPool::Shared().Run(jobs.size(), run_job, spec.threads);
   return out;
 }
 

@@ -20,10 +20,13 @@ RunReport RunScenario(const ScenarioSpec& spec, std::uint64_t seed);
 
 // Runs the spec over its sweep grid — spec.seeds, crossed with
 // spec.sweep_values over topology parameter spec.sweep_key when set — on
-// spec.threads workers (0 = hardware concurrency, clamped to the job
-// count). Every run builds its own Network/Exec, so the result is
-// independent of the thread count and equal to serial execution; reports
-// come back in grid order (value-major, then seed).
+// the process-wide parallel::WorkerPool, capped at spec.threads workers
+// (0 = the pool's full parallelism). Every run builds its own
+// Network/Exec, so the result is independent of the thread count and
+// equal to serial execution; reports come back in grid order
+// (value-major, then seed). Engines inside a pool-occupying sweep run
+// their rounds serially (nested fan-outs go inline); a single-job sweep
+// leaves the pool to the engine's shards.
 std::vector<RunReport> RunSweep(const ScenarioSpec& spec);
 
 }  // namespace dcc::scenario

@@ -159,7 +159,18 @@ ScenarioSpec ScenarioSpec::FromArgs(const std::vector<std::string>& args) {
       if (spec.faults < 0) throw InvalidArgument("--faults: must be >= 0");
     } else if (key == "--threads") {
       spec.threads = static_cast<int>(ParseInt64(val, key));
-      if (spec.threads < 0) throw InvalidArgument("--threads: must be >= 0");
+      // Same bounds as DCC_ENGINE_THREADS: the value becomes the engine's
+      // shard count, and grid-mode scratch scales with shards x tiles — an
+      // absurd value must fail validation, not allocation.
+      if (spec.threads < 0 || spec.threads > 4096) {
+        throw InvalidArgument("--threads: shard count '" + val +
+                              "' must be in [0, 4096] (0 = hardware)");
+      }
+      // One knob, both layers: sweep workers AND engine round shards. The
+      // shared WorkerPool arbitrates — a sweep wide enough to occupy it
+      // runs its engines serially (nested fan-outs degrade inline), while
+      // a single run gets its rounds sharded across the same threads.
+      spec.engine.threads = spec.threads;
     } else {
       throw InvalidArgument("unknown scenario flag '" + key + "'");
     }

@@ -50,7 +50,10 @@ struct ScenarioSpec {
 
   Round max_rounds = 0;  // 0 = per-algorithm default budget
   int faults = 0;        // always-on background transmitters (jammers)
-  int threads = 0;       // sweep parallelism; 0 = hardware concurrency
+  // Sweep parallelism; 0 = hardware concurrency. The --threads flag also
+  // copies its value into engine.threads (round-level sharding), so one
+  // knob drives both layers; programmatic specs may set them separately.
+  int threads = 0;
 
   // Parses a flag list (e.g. {"--topology=uniform:n=128,side=5",
   // "--algo=clustering", "--seeds=1..8"}). Unknown flags or malformed

@@ -7,6 +7,7 @@
 #include <typeinfo>
 
 #include "dcc/common/parse.h"
+#include "dcc/parallel/worker_pool.h"
 
 #if defined(__GNUC__) && defined(__x86_64__)
 #include <immintrin.h>
@@ -35,7 +36,12 @@ constexpr double kThresholdRecheck = 1e-12;
 // transmitter) and each transmitter load is amortized across the chunk.
 constexpr std::size_t kChunk = 8;
 
-#if defined(DCC_X86_DISPATCH) && !defined(__clang__)
+// target_clones emits an ifunc whose resolver runs during relocation,
+// before sanitizer runtimes initialize — under ThreadSanitizer that is a
+// load-time crash, so sanitized builds take the plain (still vectorizable)
+// definition.
+#if defined(DCC_X86_DISPATCH) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define DCC_TARGET_CLONES \
   __attribute__((target_clones("avx512f", "avx2", "default")))
 #else
@@ -167,6 +173,16 @@ Engine::Options Engine::Options::FromEnv() {
     }
     opts.cell = v;
   }
+  if (const char* threads = std::getenv("DCC_ENGINE_THREADS");
+      threads && *threads != '\0') {
+    const std::int64_t v = ParseInt64(threads, "DCC_ENGINE_THREADS");
+    if (v < 0 || v > 4096) {
+      throw InvalidArgument("DCC_ENGINE_THREADS: shard count '" +
+                            std::string(threads) +
+                            "' must be in [0, 4096] (0 = hardware)");
+    }
+    opts.threads = static_cast<int>(v);
+  }
   return opts;
 }
 
@@ -183,6 +199,11 @@ Engine::Engine(const Network& net, Options options)
       mode_ = net.size() > options_.grid_threshold ? Mode::kGrid : Mode::kExact;
       break;
   }
+  DCC_REQUIRE(options_.threads >= 0, "Engine: threads must be >= 0");
+  threads_ = options_.threads == 0
+                 ? parallel::WorkerPool::Shared().parallelism()
+                 : options_.threads;
+  if (threads_ > 1) pool_ = &parallel::WorkerPool::Shared();
   if (mode_ == Mode::kGrid) {
     const double cell =
         options_.cell > 0.0 ? options_.cell : AutoCell(net, options_.coverage);
@@ -197,15 +218,27 @@ Engine::Engine(const Network& net, Options options)
     if (typeid(net.propagation()) == typeid(PathLossModel)) {
       pure_path_loss_ = static_cast<const PathLossModel*>(&net.propagation());
     }
-    const auto tiles = static_cast<std::size_t>(grid_->tile_count());
-    tx_start_.assign(tiles + 1, 0);
-    tile_stamp_.assign(tiles, 0);
-    tile_far_lo_.assign(tiles, 0.0);
-    tile_far_ub_.assign(tiles, 0.0);
-    tile_close_begin_.assign(tiles, 0);
-    tile_close_end_.assign(tiles, 0);
+    tx_start_.assign(static_cast<std::size_t>(grid_->tile_count()) + 1, 0);
   }
   is_tx_.assign(net.size(), 0);
+  EnsureScratch(1);
+}
+
+void Engine::EnsureScratch(int shards) const {
+  if (static_cast<int>(scratch_.size()) >= shards) return;
+  const std::size_t old = scratch_.size();
+  scratch_.resize(static_cast<std::size_t>(shards));
+  if (!grid_) return;
+  const auto tiles = static_cast<std::size_t>(grid_->tile_count());
+  for (std::size_t k = old; k < scratch_.size(); ++k) {
+    RoundScratch& s = scratch_[k];
+    s.tile_stamp.assign(tiles, 0);
+    s.tile_far_lo.assign(tiles, 0.0);
+    s.tile_far_ub.assign(tiles, 0.0);
+    s.tile_close_begin.assign(tiles, 0);
+    s.tile_close_end.assign(tiles, 0);
+    s.round_stamp = 0;
+  }
 }
 
 void Engine::SyncIndex() {
@@ -247,9 +280,8 @@ void Engine::StepInto(std::span<const std::size_t> transmitters,
   stats_.receptions += static_cast<std::int64_t>(out.size());
 }
 
-void Engine::ResolveExact(std::size_t u,
-                          std::span<const std::size_t> transmitters,
-                          std::vector<Reception>& out) const {
+std::optional<Reception> Engine::ResolveExact(
+    std::size_t u, std::span<const std::size_t> transmitters) const {
   const Network& net = *net_;
   double total = 0.0;
   double best = -1.0;
@@ -266,170 +298,66 @@ void Engine::ResolveExact(std::size_t u,
   const double interference = total - best;
   const double sinr = best / (net.params().noise + interference);
   if (sinr >= net.params().beta) {
-    out.push_back(Reception{u, best_tx, sinr});
+    return Reception{u, best_tx, sinr};
   }
+  return std::nullopt;
 }
 
 void Engine::StepExact(std::span<const std::size_t> transmitters,
                        std::span<const std::size_t> listeners,
                        std::vector<Reception>& out) const {
-  for (const std::size_t u : listeners) {
-    ResolveExact(u, transmitters, out);
+  const std::size_t n_listen = listeners.size();
+  // No dispatch when already inside a pool fan-out (a sweep job's engine):
+  // the nested Run would execute inline anyway, so the decomposition and
+  // merge would be pure overhead reported as parallelism.
+  const int shards = threads_ > 1 && pool_ != nullptr &&
+                             !pool_->OnWorkerThread() &&
+                             n_listen >= kMinListenersPerShard *
+                                             static_cast<std::size_t>(threads_)
+                         ? threads_
+                         : 1;
+  if (shards <= 1) {
+    if (threads_ > 1) ++stats_.parallel_small_rounds;
+    for (const std::size_t u : listeners) {
+      if (auto r = ResolveExact(u, transmitters)) out.push_back(*r);
+    }
+    return;
   }
+
+  // Contiguous listener ranges (no spatial structure to decompose in exact
+  // mode); shard k resolves ordinals [n*k/K, n*(k+1)/K).
+  EnsureScratch(shards);
+  ++stats_.parallel_rounds;
+  if (static_cast<int>(stats_.shard_listeners.size()) < shards) {
+    stats_.shard_listeners.resize(static_cast<std::size_t>(shards), 0);
+  }
+  pool_->Run(static_cast<std::size_t>(shards), [&](std::size_t k) {
+    RoundScratch& s = scratch_[k];
+    s.pending.clear();
+    const std::size_t lo = n_listen * k / static_cast<std::size_t>(shards);
+    const std::size_t hi =
+        n_listen * (k + 1) / static_cast<std::size_t>(shards);
+    for (std::size_t ord = lo; ord < hi; ++ord) {
+      if (auto r = ResolveExact(listeners[ord], transmitters)) {
+        s.pending.emplace_back(static_cast<std::uint32_t>(ord), *r);
+      }
+    }
+  });
+  for (int k = 0; k < shards; ++k) {
+    const std::size_t lo =
+        n_listen * static_cast<std::size_t>(k) / static_cast<std::size_t>(shards);
+    const std::size_t hi = n_listen * static_cast<std::size_t>(k + 1) /
+                           static_cast<std::size_t>(shards);
+    stats_.shard_listeners[static_cast<std::size_t>(k)] +=
+        static_cast<std::int64_t>(hi - lo);
+  }
+  MergeShards(shards, out);
 }
 
-void Engine::ResolveFallbacksBlocked(
-    std::span<const std::size_t> transmitters,
-    std::vector<Reception>& out) const {
+void Engine::BuildTxIndex(std::span<const std::size_t> transmitters) const {
   const Network& net = *net_;
-  const PathLossModel& plm = *pure_path_loss_;
-  const double beta = net.params().beta;
-  const double noise = net.params().noise;
-
-  // Scalar exact re-resolution for SINRs too close to beta to trust the
-  // vectorized kernel's last ulps (see kThresholdRecheck).
-  const auto resolve_scalar = [&](const GridFallback& r) {
-    double total = 0.0;
-    double b = -1.0;
-    std::size_t b_tx = 0;
-    for (const std::size_t v : transmitters) {
-      const double g = net.Gain(v, r.u);
-      total += g;
-      if (g > b) {
-        b = g;
-        b_tx = v;
-      }
-    }
-    const double s = b / (noise + total - b);
-    if (s >= beta) {
-      pending_.emplace_back(r.ordinal, Reception{r.u, b_tx, s});
-    }
-  };
-
-  // Group the deferred listeners by tile so each group shares one far-range
-  // scan; ordinals restore the caller's listener order at the end.
-  std::sort(fallback_.begin(), fallback_.end(),
-            [](const GridFallback& a, const GridFallback& b) {
-              return a.tile != b.tile ? a.tile < b.tile
-                                      : a.ordinal < b.ordinal;
-            });
-  pending_.clear();
-
-  for (std::size_t i = 0; i < fallback_.size();) {
-    const std::uint32_t tile = fallback_[i].tile;
-    std::size_t group_end = i;
-    while (group_end < fallback_.size() && fallback_[group_end].tile == tile) {
-      ++group_end;
-    }
-
-    // The tile's far transmitter ranges: occupied tiles minus the close
-    // list (both ascending), with adjacent CSR ranges coalesced.
-    far_ranges_.clear();
-    {
-      std::uint32_t c = tile_close_begin_[tile];
-      const std::uint32_t c_end = tile_close_end_[tile];
-      for (const int b : occupied_tx_) {
-        if (c < c_end && close_pool_[c] == b) {
-          ++c;
-          continue;
-        }
-        const std::size_t mb = tx_start_[static_cast<std::size_t>(b)];
-        const std::size_t me = tx_start_[static_cast<std::size_t>(b) + 1];
-        if (!far_ranges_.empty() && far_ranges_.back().second == mb) {
-          far_ranges_.back().second = me;
-        } else {
-          far_ranges_.emplace_back(mb, me);
-        }
-      }
-    }
-
-    for (std::size_t c0 = i; c0 < group_end; c0 += kChunk) {
-      const std::size_t m = std::min(kChunk, group_end - c0);
-      alignas(64) double lx[kChunk], ly[kChunk], total[kChunk],
-          far_best[kChunk];
-      alignas(64) std::size_t far_best_v[kChunk] = {};
-      for (std::size_t j = 0; j < kChunk; ++j) {
-        // Pad short chunks with lane 0; padded lanes are never emitted.
-        const GridFallback& r = fallback_[c0 + (j < m ? j : 0)];
-        const Vec2 p = net.position(r.u);
-        lx[j] = p.x;
-        ly[j] = p.y;
-        total[j] = 0.0;
-        far_best[j] = -1.0;
-      }
-      if (plm.alpha_is_three()) {
-#ifdef DCC_X86_DISPATCH
-        if (HasAvx512()) {
-          FarSweepAlpha3Avx512(tx_sx_.data(), tx_sy_.data(),
-                               far_ranges_.data(), far_ranges_.size(),
-                               plm.power(), lx, ly, total, far_best,
-                               far_best_v);
-        } else {
-          FarSweepAlpha3(tx_sx_.data(), tx_sy_.data(), far_ranges_.data(),
-                         far_ranges_.size(), plm.power(), lx, ly, total,
-                         far_best, far_best_v);
-        }
-#else
-        FarSweepAlpha3(tx_sx_.data(), tx_sy_.data(), far_ranges_.data(),
-                       far_ranges_.size(), plm.power(), lx, ly, total,
-                       far_best, far_best_v);
-#endif
-      } else {
-        for (const auto& [mb, me] : far_ranges_) {
-          for (std::size_t s = mb; s < me; ++s) {
-            const double vx = tx_sx_[s];
-            const double vy = tx_sy_[s];
-            for (std::size_t j = 0; j < kChunk; ++j) {
-              const double dx = vx - lx[j];
-              const double dy = vy - ly[j];
-              const double g = plm.GainD2(dx * dx + dy * dy);
-              total[j] += g;
-              if (g > far_best[j]) {
-                far_best[j] = g;
-                far_best_v[j] = s;
-              }
-            }
-          }
-        }
-      }
-      for (std::size_t j = 0; j < m; ++j) {
-        const GridFallback& r = fallback_[c0 + j];
-        const double all = r.close_sum + total[j];
-        double best = r.close_best;
-        std::size_t best_v = r.close_best_v;
-        if (far_best[j] > best) {
-          best = far_best[j];
-          best_v = tx_members_[far_best_v[j]];
-        }
-        const double sinr = best / (noise + all - best);
-        if (std::abs(sinr - beta) <= beta * kThresholdRecheck) {
-          resolve_scalar(r);
-        } else if (sinr >= beta) {
-          pending_.emplace_back(r.ordinal, Reception{r.u, best_v, sinr});
-        }
-      }
-    }
-    i = group_end;
-  }
-
-  std::sort(pending_.begin(), pending_.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [ordinal, rec] : pending_) {
-    out.push_back(rec);
-  }
-}
-
-void Engine::StepGrid(std::span<const std::size_t> transmitters,
-                      std::span<const std::size_t> listeners,
-                      std::vector<Reception>& out) const {
-  const Network& net = *net_;
-  const PropagationModel& model = net.propagation();
   const SpatialGrid& grid = *grid_;
-  const double beta = net.params().beta;
-  const double noise = net.params().noise;
-
-  // Bucket this round's transmitters into tiles (counting sort, reusing the
-  // CSR scratch; O(tiles + |T|)).
+  // Counting sort into the CSR scratch; O(tiles + |T|).
   std::fill(tx_start_.begin(), tx_start_.end(), 0);
   for (const std::size_t v : transmitters) {
     is_tx_[v] = 1;
@@ -452,10 +380,144 @@ void Engine::StepGrid(std::span<const std::size_t> transmitters,
     tx_sx_[slot] = p.x;
     tx_sy_[slot] = p.y;
   }
+}
 
-  ++round_stamp_;
-  close_pool_.clear();
-  fallback_.clear();
+void Engine::ResolveFallbacksBlocked(
+    std::span<const std::size_t> transmitters, RoundScratch& s) const {
+  const Network& net = *net_;
+  const PathLossModel& plm = *pure_path_loss_;
+  const double beta = net.params().beta;
+  const double noise = net.params().noise;
+
+  // Group the deferred listeners by tile so each group shares one far-range
+  // scan; ordinals restore the caller's listener order at the end (the
+  // caller sorts s.pending).
+  std::sort(s.fallback.begin(), s.fallback.end(),
+            [](const GridFallback& a, const GridFallback& b) {
+              return a.tile != b.tile ? a.tile < b.tile
+                                      : a.ordinal < b.ordinal;
+            });
+
+  for (std::size_t i = 0; i < s.fallback.size();) {
+    const std::uint32_t tile = s.fallback[i].tile;
+    std::size_t group_end = i;
+    while (group_end < s.fallback.size() &&
+           s.fallback[group_end].tile == tile) {
+      ++group_end;
+    }
+
+    // The tile's far transmitter ranges: occupied tiles minus the close
+    // list (both ascending), with adjacent CSR ranges coalesced.
+    s.far_ranges.clear();
+    {
+      std::uint32_t c = s.tile_close_begin[tile];
+      const std::uint32_t c_end = s.tile_close_end[tile];
+      for (const int b : occupied_tx_) {
+        if (c < c_end && s.close_pool[c] == b) {
+          ++c;
+          continue;
+        }
+        const std::size_t mb = tx_start_[static_cast<std::size_t>(b)];
+        const std::size_t me = tx_start_[static_cast<std::size_t>(b) + 1];
+        if (!s.far_ranges.empty() && s.far_ranges.back().second == mb) {
+          s.far_ranges.back().second = me;
+        } else {
+          s.far_ranges.emplace_back(mb, me);
+        }
+      }
+    }
+
+    for (std::size_t c0 = i; c0 < group_end; c0 += kChunk) {
+      const std::size_t m = std::min(kChunk, group_end - c0);
+      alignas(64) double lx[kChunk], ly[kChunk], total[kChunk],
+          far_best[kChunk];
+      alignas(64) std::size_t far_best_v[kChunk] = {};
+      for (std::size_t j = 0; j < kChunk; ++j) {
+        // Pad short chunks with lane 0; padded lanes are never emitted.
+        const GridFallback& r = s.fallback[c0 + (j < m ? j : 0)];
+        const Vec2 p = net.position(r.u);
+        lx[j] = p.x;
+        ly[j] = p.y;
+        total[j] = 0.0;
+        far_best[j] = -1.0;
+      }
+      if (plm.alpha_is_three()) {
+#ifdef DCC_X86_DISPATCH
+        if (HasAvx512()) {
+          FarSweepAlpha3Avx512(tx_sx_.data(), tx_sy_.data(),
+                               s.far_ranges.data(), s.far_ranges.size(),
+                               plm.power(), lx, ly, total, far_best,
+                               far_best_v);
+        } else {
+          FarSweepAlpha3(tx_sx_.data(), tx_sy_.data(), s.far_ranges.data(),
+                         s.far_ranges.size(), plm.power(), lx, ly, total,
+                         far_best, far_best_v);
+        }
+#else
+        FarSweepAlpha3(tx_sx_.data(), tx_sy_.data(), s.far_ranges.data(),
+                       s.far_ranges.size(), plm.power(), lx, ly, total,
+                       far_best, far_best_v);
+#endif
+      } else {
+        for (const auto& [mb, me] : s.far_ranges) {
+          for (std::size_t t = mb; t < me; ++t) {
+            const double vx = tx_sx_[t];
+            const double vy = tx_sy_[t];
+            for (std::size_t j = 0; j < kChunk; ++j) {
+              const double dx = vx - lx[j];
+              const double dy = vy - ly[j];
+              const double g = plm.GainD2(dx * dx + dy * dy);
+              total[j] += g;
+              if (g > far_best[j]) {
+                far_best[j] = g;
+                far_best_v[j] = t;
+              }
+            }
+          }
+        }
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const GridFallback& r = s.fallback[c0 + j];
+        const double all = r.close_sum + total[j];
+        double best = r.close_best;
+        std::size_t best_v = r.close_best_v;
+        if (far_best[j] > best) {
+          best = far_best[j];
+          best_v = tx_members_[far_best_v[j]];
+        }
+        const double sinr = best / (noise + all - best);
+        if (std::abs(sinr - beta) <= beta * kThresholdRecheck) {
+          // Too close to beta to trust the vectorized kernel's last ulps
+          // (see kThresholdRecheck): re-resolve with the scalar kernel.
+          if (auto rec = ResolveExact(r.u, transmitters)) {
+            s.pending.emplace_back(r.ordinal, *rec);
+          }
+        } else if (sinr >= beta) {
+          s.pending.emplace_back(r.ordinal, Reception{r.u, best_v, sinr});
+        }
+      }
+    }
+    i = group_end;
+  }
+}
+
+void Engine::StepGridRange(std::span<const std::size_t> transmitters,
+                           std::span<const std::size_t> listeners,
+                           bool all_listeners,
+                           std::span<const std::uint32_t> ordinals,
+                           RoundScratch& s) const {
+  const Network& net = *net_;
+  const PropagationModel& model = net.propagation();
+  const SpatialGrid& grid = *grid_;
+  const double beta = net.params().beta;
+  const double noise = net.params().noise;
+
+  ++s.round_stamp;
+  s.close_pool.clear();
+  s.fallback.clear();
+  s.pending.clear();
+  s.pruned = 0;
+  s.exact_fallbacks = 0;
 
   // Envelope bounds as a function of squared distance, devirtualized for
   // the pure path-loss model (no per-link structure, so the envelope IS the
@@ -471,7 +533,11 @@ void Engine::StepGrid(std::span<const std::size_t> transmitters,
   const double near_sq = near_radius_ * near_radius_;
   const double far_sq = far_start_ * far_start_;
 
-  for (std::uint32_t ordinal = 0; ordinal < listeners.size(); ++ordinal) {
+  const std::size_t count = all_listeners ? listeners.size()
+                                          : ordinals.size();
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto ordinal = all_listeners ? static_cast<std::uint32_t>(k)
+                                       : ordinals[k];
     const std::size_t u = listeners[ordinal];
     DCC_CHECK(!is_tx_[u]);  // a transmitter cannot listen
     const Vec2 pu = net.position(u);
@@ -479,10 +545,11 @@ void Engine::StepGrid(std::span<const std::size_t> transmitters,
     const int tile_u_i = static_cast<int>(tile_u);
 
     // Shared per-listener-tile state: far-field bounds + close-tile list.
-    if (tile_stamp_[tile_u] != round_stamp_) {
-      tile_stamp_[tile_u] = round_stamp_;
+    if (s.tile_stamp[tile_u] != s.round_stamp) {
+      s.tile_stamp[tile_u] = s.round_stamp;
       double far_lo = 0.0, far_ub = 0.0;
-      tile_close_begin_[tile_u] = static_cast<std::uint32_t>(close_pool_.size());
+      s.tile_close_begin[tile_u] =
+          static_cast<std::uint32_t>(s.close_pool.size());
       for (const int b : occupied_tx_) {
         const double d2_lo = grid.TileDistLoSq(tile_u_i, b);
         if (d2_lo > far_sq) {
@@ -492,12 +559,13 @@ void Engine::StepGrid(std::span<const std::size_t> transmitters,
           far_lo += cnt * min_gain_d2(grid.TileDistHiSq(tile_u_i, b));
           far_ub = std::max(far_ub, max_gain_d2(d2_lo));
         } else {
-          close_pool_.push_back(b);
+          s.close_pool.push_back(b);
         }
       }
-      tile_close_end_[tile_u] = static_cast<std::uint32_t>(close_pool_.size());
-      tile_far_lo_[tile_u] = far_lo;
-      tile_far_ub_[tile_u] = far_ub;
+      s.tile_close_end[tile_u] =
+          static_cast<std::uint32_t>(s.close_pool.size());
+      s.tile_far_lo[tile_u] = far_lo;
+      s.tile_far_ub[tile_u] = far_ub;
     }
 
     const auto gain_at = [&](std::size_t v) {
@@ -511,22 +579,22 @@ void Engine::StepGrid(std::span<const std::size_t> transmitters,
     double close_sum = 0.0;
     double best = -1.0;
     std::size_t best_v = 0;
-    double bound_lo = tile_far_lo_[tile_u];
-    double gain_ub = tile_far_ub_[tile_u];
-    const std::uint32_t close_begin = tile_close_begin_[tile_u];
-    const std::uint32_t close_end = tile_close_end_[tile_u];
-    for (std::uint32_t k = close_begin; k < close_end; ++k) {
-      const int b = close_pool_[k];
+    double bound_lo = s.tile_far_lo[tile_u];
+    double gain_ub = s.tile_far_ub[tile_u];
+    const std::uint32_t close_begin = s.tile_close_begin[tile_u];
+    const std::uint32_t close_end = s.tile_close_end[tile_u];
+    for (std::uint32_t c = close_begin; c < close_end; ++c) {
+      const int b = s.close_pool[c];
       const double d2_lo = grid.DistLoSq(pu, b);
       const std::size_t mb = tx_start_[static_cast<std::size_t>(b)];
       const std::size_t me = tx_start_[static_cast<std::size_t>(b) + 1];
       if (d2_lo <= near_sq) {
-        for (std::size_t s = mb; s < me; ++s) {
-          const double g = gain_at(tx_members_[s]);
+        for (std::size_t t = mb; t < me; ++t) {
+          const double g = gain_at(tx_members_[t]);
           close_sum += g;
           if (g > best) {
             best = g;
-            best_v = tx_members_[s];
+            best_v = tx_members_[t];
           }
         }
       } else {
@@ -545,44 +613,162 @@ void Engine::StepGrid(std::span<const std::size_t> transmitters,
       return (best_ub / (noise + i_lo)) * (1.0 + kPruneSlack) < beta;
     };
     if (cannot_receive(std::max(best, gain_ub), close_sum + bound_lo)) {
-      ++stats_.grid_pruned;
+      ++s.pruned;
       continue;
     }
 
     // Stage 2 — scan the mid tiles exactly; only the shared far-field
     // bound remains an estimate.
-    for (std::uint32_t k = close_begin; k < close_end; ++k) {
-      const int b = close_pool_[k];
+    for (std::uint32_t c = close_begin; c < close_end; ++c) {
+      const int b = s.close_pool[c];
       if (grid.DistLoSq(pu, b) <= near_sq) continue;  // already exact
-      for (std::size_t s = tx_start_[static_cast<std::size_t>(b)];
-           s < tx_start_[static_cast<std::size_t>(b) + 1]; ++s) {
-        const double g = gain_at(tx_members_[s]);
+      for (std::size_t t = tx_start_[static_cast<std::size_t>(b)];
+           t < tx_start_[static_cast<std::size_t>(b) + 1]; ++t) {
+        const double g = gain_at(tx_members_[t]);
         close_sum += g;
         if (g > best) {
           best = g;
-          best_v = tx_members_[s];
+          best_v = tx_members_[t];
         }
       }
     }
-    if (cannot_receive(std::max(best, tile_far_ub_[tile_u]),
-                       close_sum + tile_far_lo_[tile_u])) {
-      ++stats_.grid_pruned;
+    if (cannot_receive(std::max(best, s.tile_far_ub[tile_u]),
+                       close_sum + s.tile_far_lo[tile_u])) {
+      ++s.pruned;
       continue;
     }
 
     // Stage 3 — a reception is genuinely possible: defer to the exact
     // fallback (batched for the pure path-loss model).
-    ++stats_.grid_exact_fallbacks;
+    ++s.exact_fallbacks;
     if (pure_path_loss_ != nullptr) {
-      fallback_.push_back(GridFallback{static_cast<std::uint32_t>(tile_u),
-                                       ordinal, u, close_sum, best, best_v});
-    } else {
-      ResolveExact(u, transmitters, out);
+      s.fallback.push_back(GridFallback{static_cast<std::uint32_t>(tile_u),
+                                        ordinal, u, close_sum, best, best_v});
+    } else if (auto r = ResolveExact(u, transmitters)) {
+      s.pending.emplace_back(ordinal, *r);
     }
   }
 
-  if (!fallback_.empty()) {
-    ResolveFallbacksBlocked(transmitters, out);
+  if (!s.fallback.empty()) {
+    ResolveFallbacksBlocked(transmitters, s);
+  }
+  std::sort(s.pending.begin(), s.pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void Engine::MergeShards(int shards, std::vector<Reception>& out) const {
+  // Shard-ordered concatenation; ordinals are globally unique, so one sort
+  // restores the exact serial (listener-order) output.
+  merge_.clear();
+  for (int k = 0; k < shards; ++k) {
+    RoundScratch& s = scratch_[static_cast<std::size_t>(k)];
+    merge_.insert(merge_.end(), s.pending.begin(), s.pending.end());
+    stats_.grid_pruned += s.pruned;
+    stats_.grid_exact_fallbacks += s.exact_fallbacks;
+    s.pruned = 0;
+    s.exact_fallbacks = 0;
+  }
+  std::sort(merge_.begin(), merge_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [ordinal, rec] : merge_) {
+    out.push_back(rec);
+  }
+}
+
+void Engine::StepGrid(std::span<const std::size_t> transmitters,
+                      std::span<const std::size_t> listeners,
+                      std::vector<Reception>& out) const {
+  const SpatialGrid& grid = *grid_;
+  BuildTxIndex(transmitters);
+
+  const std::size_t n_listen = listeners.size();
+  // As in StepExact: no dispatch under the grain or when this engine is
+  // already running inside a pool fan-out (nested Run would go inline).
+  int shards = 1;
+  if (threads_ > 1 && pool_ != nullptr && !pool_->OnWorkerThread() &&
+      n_listen >=
+          kMinListenersPerShard * static_cast<std::size_t>(threads_)) {
+    shards = threads_;
+  } else if (threads_ > 1) {
+    ++stats_.parallel_small_rounds;
+  }
+
+  if (shards > 1) {
+    // Plan contiguous tile shards balanced by this round's listener
+    // histogram, then bucket listener ordinals by shard (stable, so each
+    // shard sees its listeners in ascending ordinal order — the exact
+    // relative order the serial sweep would process them in).
+    const auto tiles = static_cast<std::size_t>(grid.tile_count());
+    shard_weights_.assign(tiles, 0);
+    listener_shard_.resize(n_listen);
+    for (const std::size_t u : listeners) {
+      ++shard_weights_[static_cast<std::size_t>(grid.TileOfPoint(u))];
+    }
+    plan_.Reset(grid.tile_count(), shards, options_.shard_policy,
+                shard_weights_);
+    shard_ord_start_.assign(static_cast<std::size_t>(shards) + 1, 0);
+    for (std::size_t ord = 0; ord < n_listen; ++ord) {
+      const auto k = static_cast<std::uint32_t>(
+          plan_.ShardOfTile(grid.TileOfPoint(listeners[ord])));
+      listener_shard_[ord] = k;
+      ++shard_ord_start_[k + 1];
+    }
+    for (std::size_t k = 1; k < shard_ord_start_.size(); ++k) {
+      shard_ord_start_[k] += shard_ord_start_[k - 1];
+    }
+    // A plan below 2 non-empty shards cannot win (tiles are the
+    // decomposition grain; e.g. a tiny network whose auto cell yields one
+    // tile): the dispatch would pay pool overhead to run serially anyway.
+    int populated = 0;
+    for (int k = 0; k < shards; ++k) {
+      populated += shard_ord_start_[static_cast<std::size_t>(k) + 1] >
+                           shard_ord_start_[static_cast<std::size_t>(k)]
+                       ? 1
+                       : 0;
+    }
+    if (populated < 2) {
+      shards = 1;
+      ++stats_.parallel_small_rounds;
+    }
+  }
+
+  if (shards <= 1) {
+    RoundScratch& s = scratch_[0];
+    StepGridRange(transmitters, listeners, /*all_listeners=*/true, {}, s);
+    stats_.grid_pruned += s.pruned;
+    stats_.grid_exact_fallbacks += s.exact_fallbacks;
+    s.pruned = 0;
+    s.exact_fallbacks = 0;
+    for (const auto& [ordinal, rec] : s.pending) {
+      out.push_back(rec);
+    }
+  } else {
+    shard_ordinals_.resize(n_listen);
+    shard_ord_fill_.assign(shard_ord_start_.begin(),
+                           shard_ord_start_.end() - 1);
+    for (std::size_t ord = 0; ord < n_listen; ++ord) {
+      shard_ordinals_[shard_ord_fill_[listener_shard_[ord]]++] =
+          static_cast<std::uint32_t>(ord);
+    }
+
+    EnsureScratch(shards);
+    ++stats_.parallel_rounds;
+    if (static_cast<int>(stats_.shard_listeners.size()) < shards) {
+      stats_.shard_listeners.resize(static_cast<std::size_t>(shards), 0);
+    }
+    pool_->Run(static_cast<std::size_t>(shards), [&](std::size_t k) {
+      const std::span<const std::uint32_t> ordinals(
+          shard_ordinals_.data() + shard_ord_start_[k],
+          shard_ord_start_[k + 1] - shard_ord_start_[k]);
+      StepGridRange(transmitters, listeners, /*all_listeners=*/false,
+                    ordinals, scratch_[k]);
+    });
+    for (int k = 0; k < shards; ++k) {
+      stats_.shard_listeners[static_cast<std::size_t>(k)] +=
+          static_cast<std::int64_t>(shard_ord_start_[static_cast<std::size_t>(k) + 1] -
+                                    shard_ord_start_[static_cast<std::size_t>(k)]);
+    }
+    MergeShards(shards, out);
   }
 
   for (const std::size_t v : transmitters) is_tx_[v] = 0;

@@ -22,16 +22,38 @@
 //    modes equally).
 // kAuto picks kExact while the network still carries its dense gain matrix
 // and kGrid above that size threshold.
+//
+// --- Parallel sharded rounds (Options::threads) ---
+// Either strategy can run one round across K shards on the process-wide
+// parallel::WorkerPool. In grid mode a parallel::ShardPlan partitions the
+// spatial tiles into K contiguous ranges (balanced by this round's
+// listeners-per-tile histogram); each worker resolves the listeners of its
+// own tiles against the full, read-only transmitter index — its near-field
+// tiles plus the conservative envelope bounds of everything beyond, so the
+// "halo" a shard needs from its neighbors is exactly the shared CSR slices
+// of their tiles, imported by reference rather than by message. In exact
+// mode shards are contiguous listener ranges. Per-listener resolution is a
+// pure function of (listener, transmitter index), every worker owns its
+// whole scratch, and the merge emits receptions in listener order — so the
+// reception set AND every SINR bit are identical to serial execution at
+// every thread count. Rounds below kMinListenersPerShard * K listeners run
+// serially (the dispatch would cost more than the round).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "dcc/common/spatial_grid.h"
+#include "dcc/parallel/shard_plan.h"
 #include "dcc/sinr/network.h"
+
+namespace dcc::parallel {
+class WorkerPool;
+}  // namespace dcc::parallel
 
 namespace dcc::sinr {
 
@@ -62,10 +84,19 @@ class Engine {
     // Not part of the flag grammar — set programmatically (scenario
     // dynamics passes its world box).
     std::optional<Box> coverage;
+    // Round-level parallelism: every round is decomposed into this many
+    // shards executed on the shared parallel::WorkerPool. 1 = serial
+    // (default), 0 = one shard per hardware thread, K > 1 = exactly K
+    // shards regardless of the host (receptions are bit-identical to
+    // serial at every setting, so K only affects speed).
+    int threads = 1;
+    // How grid-mode shards cut the tile range (see parallel/shard_plan.h).
+    parallel::ShardPolicy shard_policy = parallel::ShardPolicy::kBalanced;
 
     // Options overridden from the environment (benches and dcc_run):
-    //   DCC_ENGINE_MODE = exact | grid | auto   (default auto)
-    //   DCC_ENGINE_CELL = <tile side>           (default: engine heuristic)
+    //   DCC_ENGINE_MODE    = exact | grid | auto   (default auto)
+    //   DCC_ENGINE_CELL    = <tile side>           (default: engine heuristic)
+    //   DCC_ENGINE_THREADS = <shard count, 0=hw>   (default: 1, serial)
     // Throws InvalidArgument on any unrecognized or malformed value — a
     // typo must not silently fall back to the default strategy.
     static Options FromEnv();
@@ -84,7 +115,8 @@ class Engine {
 
   // Allocation-free variant: clears `out` and appends receptions into it.
   // Reuses internal scratch buffers across rounds — a single Engine must
-  // not run concurrent Steps from multiple threads.
+  // not run concurrent Steps from multiple threads (parallelism inside one
+  // Step is the engine's own job, via Options::threads).
   void StepInto(std::span<const std::size_t> transmitters,
                 std::span<const std::size_t> listeners,
                 std::vector<Reception>& out) const;
@@ -102,6 +134,10 @@ class Engine {
   // The resolved strategy (never kAuto).
   Mode mode() const { return mode_; }
   const Options& options() const { return options_; }
+
+  // Resolved shard count (>= 1; Options::threads with 0 resolved to the
+  // shared pool's parallelism).
+  int threads() const { return threads_; }
 
   // --- Dynamic networks: spatial-index maintenance. ---
   // The grid built at construction tracks the network's positions; after
@@ -125,6 +161,11 @@ class Engine {
   // exact mode, where no index exists.
   std::size_t IndexSize() const { return grid_ ? grid_->point_count() : 0; }
 
+  // Below this many listeners per shard a round is not worth dispatching:
+  // it runs serially even when threads() > 1 (counted in
+  // Stats::parallel_small_rounds).
+  static constexpr std::size_t kMinListenersPerShard = 2;
+
   // Cumulative counters (diagnostics for benches).
   struct Stats {
     std::int64_t rounds = 0;
@@ -134,6 +175,15 @@ class Engine {
     // listeners resolved by the exact fallback loop.
     std::int64_t grid_pruned = 0;
     std::int64_t grid_exact_fallbacks = 0;
+    // Parallel engines only (threads() > 1): rounds dispatched across
+    // shards vs rounds run serially because dispatching could not win
+    // (under the listener grain, a tile plan with < 2 populated shards,
+    // or the engine nested inside an occupied pool), and the cumulative
+    // listeners resolved by each shard index — the per-shard load profile
+    // the dcc.parallel.v1 report section exposes.
+    std::int64_t parallel_rounds = 0;
+    std::int64_t parallel_small_rounds = 0;
+    std::vector<std::int64_t> shard_listeners;
   };
   const Stats& stats() const { return stats_; }
   // Counters accumulate through const Steps (they are diagnostics, not
@@ -141,29 +191,86 @@ class Engine {
   void ResetStats() const { stats_ = {}; }
 
  private:
+  // Listeners deferred to the exact fallback, with their phase-A partials.
+  struct GridFallback {
+    std::uint32_t tile = 0;     // listener tile (phase-B grouping key)
+    std::uint32_t ordinal = 0;  // position in the listeners span
+    std::size_t u = 0;
+    double close_sum = 0.0;   // exact near+mid interference
+    double close_best = -1.0; // strongest near/mid gain...
+    std::size_t close_best_v = 0;  // ...and its transmitter
+  };
+
+  // One worker's whole mutable state for one round: the per-listener-tile
+  // bound cache, the deferred-fallback queue, and the (ordinal, Reception)
+  // pairs it produced. Serial rounds use scratch_[0]; a K-shard round uses
+  // scratch_[0..K) with no sharing, which is what makes the fan-out
+  // race-free by construction.
+  struct RoundScratch {
+    // Per-listener-tile round cache: shared far-field bounds plus the list
+    // of close (near/mid) transmitter tiles.
+    std::vector<std::uint64_t> tile_stamp;
+    std::vector<double> tile_far_lo;
+    std::vector<double> tile_far_ub;
+    std::vector<std::uint32_t> tile_close_begin;
+    std::vector<std::uint32_t> tile_close_end;
+    std::vector<int> close_pool;
+    std::uint64_t round_stamp = 0;
+    std::vector<GridFallback> fallback;
+    // Receptions tagged with their listener ordinal; sorted by ordinal at
+    // the end of a range so the merge is a deterministic concatenation.
+    std::vector<std::pair<std::uint32_t, Reception>> pending;
+    std::vector<std::pair<std::size_t, std::size_t>> far_ranges;
+    // Round-local counter deltas, folded into stats_ after the join.
+    std::int64_t pruned = 0;
+    std::int64_t exact_fallbacks = 0;
+  };
+
   void StepExact(std::span<const std::size_t> transmitters,
                  std::span<const std::size_t> listeners,
                  std::vector<Reception>& out) const;
   void StepGrid(std::span<const std::size_t> transmitters,
                 std::span<const std::size_t> listeners,
                 std::vector<Reception>& out) const;
-  // The exact per-listener inner loop, shared by kExact mode and kGrid's
-  // fallback for models without a devirtualized kernel; appends to `out`
-  // on success.
-  void ResolveExact(std::size_t u, std::span<const std::size_t> transmitters,
-                    std::vector<Reception>& out) const;
+  // The exact per-listener inner loop, shared by kExact mode, kGrid's
+  // fallback for models without a devirtualized kernel, and the
+  // near-threshold recheck; returns the reception if SINR clears beta.
+  std::optional<Reception> ResolveExact(
+      std::size_t u, std::span<const std::size_t> transmitters) const;
+  // Buckets this round's transmitters into tiles (CSR over tx_start_ /
+  // tx_members_ / tx_sx_ / tx_sy_, occupied tiles ascending). Read-only
+  // for the rest of the round, which is what lets shard workers share it.
+  void BuildTxIndex(std::span<const std::size_t> transmitters) const;
+  // Resolves listeners into s.pending, tagged with their ordinal and
+  // ordinal-sorted: all of them when `all_listeners` is set (a whole
+  // serial grid round), else exactly the ones named by `ordinals`
+  // (ascending indices into `listeners`, possibly empty — an empty shard
+  // is a no-op). The body of one shard worker.
+  void StepGridRange(std::span<const std::size_t> transmitters,
+                     std::span<const std::size_t> listeners,
+                     bool all_listeners,
+                     std::span<const std::uint32_t> ordinals,
+                     RoundScratch& s) const;
   // kGrid's batched exact fallback for the pure path-loss model: resolves
-  // all deferred listeners tile by tile, sweeping each tile group's
-  // far-field transmitter ranges once per kChunk-listener chunk (kChunk is
-  // defined in engine.cc; one AVX-512 register of lanes). Near-threshold
-  // SINRs are re-resolved over `transmitters` with the scalar kernel so
-  // the reception set is host-invariant.
+  // s.fallback tile by tile, sweeping each tile group's far-field
+  // transmitter ranges once per kChunk-listener chunk (kChunk is defined in
+  // engine.cc; one AVX-512 register of lanes). Near-threshold SINRs are
+  // re-resolved over `transmitters` with the scalar kernel so the
+  // reception set is host-invariant.
   void ResolveFallbacksBlocked(std::span<const std::size_t> transmitters,
-                               std::vector<Reception>& out) const;
+                               RoundScratch& s) const;
+  // Grows scratch_ to `shards` entries with tile arrays sized for grid_.
+  void EnsureScratch(int shards) const;
+  // Concatenates every shard's pending receptions, restores global
+  // listener order, and appends to `out` (allocation-free at steady
+  // state). Folds the shards' counter deltas into stats_.
+  void MergeShards(int shards, std::vector<Reception>& out) const;
 
   const Network* net_;
   Options options_;
   Mode mode_ = Mode::kExact;
+  int threads_ = 1;                       // resolved, >= 1
+  parallel::WorkerPool* pool_ = nullptr;  // set iff threads_ > 1
   mutable Stats stats_;
 
   // --- Grid-mode state (unused in kExact). ---
@@ -175,7 +282,8 @@ class Engine {
   // the virtual GainFromDistanceSq per link.
   const PathLossModel* pure_path_loss_ = nullptr;
 
-  // Per-round scratch, reused across Steps (see StepInto threading note).
+  // Per-round transmitter index, built serially before listener resolution
+  // and read-only after (see StepInto threading note).
   mutable std::vector<char> is_tx_;
   mutable std::vector<std::size_t> tx_start_;    // CSR offsets per tile
   mutable std::vector<std::size_t> tx_fill_;     // scatter cursors
@@ -184,27 +292,18 @@ class Engine {
   mutable std::vector<double> tx_sx_;
   mutable std::vector<double> tx_sy_;
   mutable std::vector<int> occupied_tx_;         // tiles with >= 1 transmitter
-  // Listeners deferred to the exact fallback, with their phase-A partials.
-  struct GridFallback {
-    std::uint32_t tile = 0;     // listener tile (phase-B grouping key)
-    std::uint32_t ordinal = 0;  // position in the listeners span
-    std::size_t u = 0;
-    double close_sum = 0.0;   // exact near+mid interference
-    double close_best = -1.0; // strongest near/mid gain...
-    std::size_t close_best_v = 0;  // ...and its transmitter
-  };
-  mutable std::vector<GridFallback> fallback_;
-  mutable std::vector<std::pair<std::uint32_t, Reception>> pending_;
-  mutable std::vector<std::pair<std::size_t, std::size_t>> far_ranges_;
-  // Per-listener-tile round cache: shared far-field bounds plus the list of
-  // close (near/mid) transmitter tiles.
-  mutable std::vector<std::uint64_t> tile_stamp_;
-  mutable std::vector<double> tile_far_lo_;
-  mutable std::vector<double> tile_far_ub_;
-  mutable std::vector<std::uint32_t> tile_close_begin_;
-  mutable std::vector<std::uint32_t> tile_close_end_;
-  mutable std::vector<int> close_pool_;
-  mutable std::uint64_t round_stamp_ = 0;
+
+  // Per-worker round state; [0] doubles as the serial scratch.
+  mutable std::vector<RoundScratch> scratch_;
+
+  // Parallel-round plumbing (built serially each dispatched round).
+  mutable parallel::ShardPlan plan_;
+  mutable std::vector<std::uint32_t> shard_weights_;    // listeners per tile
+  mutable std::vector<std::uint32_t> listener_shard_;   // shard per listener
+  mutable std::vector<std::uint32_t> shard_ord_start_;  // CSR offsets
+  mutable std::vector<std::uint32_t> shard_ord_fill_;
+  mutable std::vector<std::uint32_t> shard_ordinals_;   // ordinals by shard
+  mutable std::vector<std::pair<std::uint32_t, Reception>> merge_;
 };
 
 }  // namespace dcc::sinr

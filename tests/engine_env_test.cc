@@ -1,5 +1,6 @@
 // Engine::Options::FromEnv — strict parsing of DCC_ENGINE_MODE /
-// DCC_ENGINE_CELL. Typos must reject, not silently fall back.
+// DCC_ENGINE_CELL / DCC_ENGINE_THREADS. Typos must reject, not silently
+// fall back.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -14,6 +15,7 @@ class EngineEnvTest : public ::testing::Test {
   void TearDown() override {
     unsetenv("DCC_ENGINE_MODE");
     unsetenv("DCC_ENGINE_CELL");
+    unsetenv("DCC_ENGINE_THREADS");
   }
 };
 
@@ -21,6 +23,7 @@ TEST_F(EngineEnvTest, DefaultsWhenUnset) {
   const auto opts = Engine::Options::FromEnv();
   EXPECT_EQ(opts.mode, Engine::Mode::kAuto);
   EXPECT_EQ(opts.cell, 0.0);
+  EXPECT_EQ(opts.threads, 1);
 }
 
 TEST_F(EngineEnvTest, ParsesEveryMode) {
@@ -49,12 +52,30 @@ TEST_F(EngineEnvTest, RejectsMalformedCell) {
   EXPECT_THROW(Engine::Options::FromEnv(), InvalidArgument);
 }
 
+TEST_F(EngineEnvTest, ParsesThreads) {
+  setenv("DCC_ENGINE_THREADS", "4", 1);
+  EXPECT_EQ(Engine::Options::FromEnv().threads, 4);
+  setenv("DCC_ENGINE_THREADS", "0", 1);  // 0 = hardware
+  EXPECT_EQ(Engine::Options::FromEnv().threads, 0);
+}
+
+TEST_F(EngineEnvTest, RejectsMalformedThreads) {
+  setenv("DCC_ENGINE_THREADS", "four", 1);
+  EXPECT_THROW(Engine::Options::FromEnv(), InvalidArgument);
+  setenv("DCC_ENGINE_THREADS", "-2", 1);
+  EXPECT_THROW(Engine::Options::FromEnv(), InvalidArgument);
+  setenv("DCC_ENGINE_THREADS", "8192", 1);
+  EXPECT_THROW(Engine::Options::FromEnv(), InvalidArgument);
+}
+
 TEST_F(EngineEnvTest, EmptyValuesMeanUnset) {
   setenv("DCC_ENGINE_MODE", "", 1);
   setenv("DCC_ENGINE_CELL", "", 1);
+  setenv("DCC_ENGINE_THREADS", "", 1);
   const auto opts = Engine::Options::FromEnv();
   EXPECT_EQ(opts.mode, Engine::Mode::kAuto);
   EXPECT_EQ(opts.cell, 0.0);
+  EXPECT_EQ(opts.threads, 1);
 }
 
 }  // namespace

@@ -1,0 +1,482 @@
+// The parallel sharded round engine must be invisible except for speed:
+// receptions (listener, sender AND every SINR bit) are pinned identical to
+// serial execution across thread counts, shard policies, engine modes,
+// propagation models, and moving/churning networks. Also covers the
+// subsystem's building blocks: WorkerPool fan-out semantics and ShardPlan
+// partition invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dcc/common/rng.h"
+#include "dcc/parallel/shard_plan.h"
+#include "dcc/parallel/worker_pool.h"
+#include "dcc/scenario/scenario.h"
+#include "dcc/sinr/engine.h"
+#include "dcc/sinr/network.h"
+#include "dcc/workload/generators.h"
+
+namespace dcc {
+namespace {
+
+using parallel::ShardPlan;
+using parallel::ShardPolicy;
+using parallel::WorkerPool;
+using sinr::Engine;
+using sinr::Network;
+using sinr::Params;
+using sinr::Reception;
+using sinr::Shadowing;
+
+// --- WorkerPool -------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryJobExactlyOnce) {
+  WorkerPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.Run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "job " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ZeroWorkerPoolRunsInline) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.parallelism(), 1);
+  std::vector<int> hits(16, 0);
+  const auto caller = std::this_thread::get_id();
+  pool.Run(hits.size(), [&](std::size_t i) {
+    hits[i] = std::this_thread::get_id() == caller ? 1 : -1;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPoolTest, NestedRunDegradesToInline) {
+  WorkerPool pool(2);
+  std::vector<std::atomic<int>> hits(4 * 8);
+  for (auto& h : hits) h = 0;
+  pool.Run(4, [&](std::size_t outer) {
+    // A worker calling back into its own pool must not deadlock; the inner
+    // fan-out runs inline on this thread.
+    pool.Run(8, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "job " << i;
+  }
+}
+
+TEST(WorkerPoolTest, MaxWorkersCapsParticipants) {
+  WorkerPool pool(3);
+  std::vector<std::thread::id> by_job(64);
+  pool.Run(by_job.size(),
+           [&](std::size_t i) { by_job[i] = std::this_thread::get_id(); }, 2);
+  const std::set<std::thread::id> distinct(by_job.begin(), by_job.end());
+  EXPECT_LE(distinct.size(), 2u);
+}
+
+TEST(WorkerPoolTest, FirstJobExceptionPropagatesAndPoolSurvives) {
+  WorkerPool pool(2);
+  EXPECT_THROW(
+      pool.Run(32,
+               [&](std::size_t i) {
+                 if (i == 7) throw InvalidArgument("job 7 failed");
+               }),
+      InvalidArgument);
+  // The pool stays usable after a failed fan-out.
+  std::atomic<int> done{0};
+  pool.Run(8, [&](std::size_t) { ++done; });
+  EXPECT_EQ(done, 8);
+}
+
+TEST(WorkerPoolTest, SharedPoolIsOneInstance) {
+  WorkerPool& a = WorkerPool::Shared();
+  WorkerPool& b = WorkerPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.parallelism(), 1);
+}
+
+// --- ShardPlan --------------------------------------------------------------
+
+// Every tile in exactly one shard, shards contiguous and ordered, lookup
+// consistent with the ranges.
+void ExpectValidPartition(const ShardPlan& plan, int n_tiles, int shards) {
+  ASSERT_EQ(plan.shard_count(), shards);
+  EXPECT_EQ(plan.begin(0), 0);
+  EXPECT_EQ(plan.end(shards - 1), n_tiles);
+  for (int k = 0; k < shards; ++k) {
+    EXPECT_LE(plan.begin(k), plan.end(k)) << "shard " << k;
+    if (k > 0) EXPECT_EQ(plan.begin(k), plan.end(k - 1)) << "shard " << k;
+    for (int t = plan.begin(k); t < plan.end(k); ++t) {
+      EXPECT_EQ(plan.ShardOfTile(t), k) << "tile " << t;
+    }
+  }
+}
+
+TEST(ShardPlanTest, EvenPolicyPartitionsAnyShape) {
+  for (const int n_tiles : {1, 7, 64, 100}) {
+    for (const int shards : {1, 2, 3, 5, 7, 16, 200}) {
+      ShardPlan plan;
+      plan.Reset(n_tiles, shards, ShardPolicy::kEven, {});
+      ExpectValidPartition(plan, n_tiles, shards);
+    }
+  }
+}
+
+TEST(ShardPlanTest, BalancedPolicyPartitionsRandomWeights) {
+  Xoshiro256ss rng(42);
+  for (const int n_tiles : {1, 9, 144}) {
+    std::vector<std::uint32_t> weights(n_tiles);
+    std::uint64_t total = 0;
+    for (auto& w : weights) {
+      w = static_cast<std::uint32_t>(rng.NextBelow(50));
+      total += w;
+    }
+    for (const int shards : {1, 2, 3, 5, 7, 16}) {
+      ShardPlan plan;
+      plan.Reset(n_tiles, shards, ShardPolicy::kBalanced, weights);
+      ExpectValidPartition(plan, n_tiles, shards);
+      // Balance: a shard exceeds its fair share by at most one tile's
+      // weight (the greedy cut overshoots by at most the tile it closed
+      // on).
+      std::uint32_t max_w = 0;
+      for (const std::uint32_t w : weights) max_w = std::max(max_w, w);
+      for (int k = 0; k < plan.shard_count(); ++k) {
+        std::uint64_t load = 0;
+        for (int t = plan.begin(k); t < plan.end(k); ++t) load += weights[t];
+        EXPECT_LE(load, total / static_cast<std::uint64_t>(shards) + max_w + 1)
+            << "shard " << k << " of " << shards << ", tiles " << n_tiles;
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, MoreShardsThanTilesLeavesTrailingShardsEmpty) {
+  std::vector<std::uint32_t> weights(3, 1);
+  ShardPlan plan;
+  plan.Reset(3, 8, ShardPolicy::kBalanced, weights);
+  ExpectValidPartition(plan, 3, 8);
+}
+
+// --- Engine: parallel == serial, bit for bit --------------------------------
+
+void SplitTxListeners(std::size_t n, int period, std::vector<std::size_t>& tx,
+                      std::vector<std::size_t>& listeners) {
+  tx.clear();
+  listeners.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % static_cast<std::size_t>(period) == 0) {
+      tx.push_back(i);
+    } else {
+      listeners.push_back(i);
+    }
+  }
+}
+
+// Parallel decomposition reorders no floating-point operation, so the
+// comparison is exact — not a tolerance check.
+void ExpectBitIdentical(const std::vector<Reception>& serial,
+                        const std::vector<Reception>& par,
+                        const std::string& label) {
+  ASSERT_EQ(serial.size(), par.size()) << label;
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].listener, par[k].listener) << label << " k=" << k;
+    EXPECT_EQ(serial[k].sender, par[k].sender) << label << " k=" << k;
+    EXPECT_EQ(serial[k].sinr, par[k].sinr) << label << " k=" << k;
+  }
+}
+
+Network MakeUniformNet(int n, double side, double shadowing_spread,
+                       std::uint64_t seed) {
+  Params params = Params::Default();
+  params.id_space = 1 << 17;
+  auto pts = workload::UniformSquare(n, side, seed);
+  std::vector<NodeId> ids(pts.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<NodeId>(2 * i + 3);  // non-sequential ids
+  }
+  return Network(std::move(pts), std::move(ids), params,
+                 Shadowing{shadowing_spread, /*seed=*/99});
+}
+
+void ExpectParallelMatchesSerial(const Network& net, Engine::Options base,
+                                 const std::vector<int>& thread_counts,
+                                 const std::string& label) {
+  Engine::Options serial_opts = base;
+  serial_opts.threads = 1;
+  const Engine serial(net, serial_opts);
+  std::vector<std::size_t> tx, listeners;
+  std::vector<Reception> want, got;
+  for (const int period : {2, 7}) {
+    SplitTxListeners(net.size(), period, tx, listeners);
+    serial.StepInto(tx, listeners, want);
+    for (const int threads : thread_counts) {
+      Engine::Options par_opts = base;
+      par_opts.threads = threads;
+      const Engine par(net, par_opts);
+      EXPECT_EQ(par.threads(), threads);
+      par.StepInto(tx, listeners, got);
+      ExpectBitIdentical(
+          want, got,
+          label + " period=" + std::to_string(period) +
+              " threads=" + std::to_string(threads));
+      if (threads > 1 && !listeners.empty()) {
+        EXPECT_GT(par.stats().parallel_rounds, 0)
+            << label << ": round was not actually dispatched";
+      }
+    }
+  }
+}
+
+TEST(ParallelEngineTest, GridBitIdenticalAcrossThreadCounts) {
+  const Network net = MakeUniformNet(700, 13.0, 0.0, 1234);
+  ExpectParallelMatchesSerial(net, {.mode = Engine::Mode::kGrid},
+                              {1, 2, 3, 8}, "grid");
+}
+
+TEST(ParallelEngineTest, ExactBitIdenticalAcrossThreadCounts) {
+  const Network net = MakeUniformNet(400, 10.0, 0.0, 99);
+  ExpectParallelMatchesSerial(net, {.mode = Engine::Mode::kExact},
+                              {1, 2, 3, 8}, "exact");
+}
+
+TEST(ParallelEngineTest, ShadowingModelTakesTheVirtualPathIdentically) {
+  // Shadowing defeats the devirtualized kernel: grid mode resolves through
+  // the virtual per-listener fallback, whose parallel form must also be
+  // bit-identical.
+  const Network net = MakeUniformNet(500, 11.0, 0.4, 7);
+  ExpectParallelMatchesSerial(net, {.mode = Engine::Mode::kGrid},
+                              {2, 3, 8}, "grid+shadowing");
+}
+
+TEST(ParallelEngineTest, OddShardCountsOnFewTiles) {
+  // A huge tile side leaves very few tiles — shard counts above the tile
+  // count must produce empty shards, not wrong answers.
+  const Network net = MakeUniformNet(300, 8.0, 0.0, 31);
+  ExpectParallelMatchesSerial(net, {.mode = Engine::Mode::kGrid, .cell = 4.0},
+                              {3, 5, 7, 16}, "few-tiles");
+}
+
+TEST(ParallelEngineTest, EvenShardPolicyAlsoMatches) {
+  const Network net = MakeUniformNet(420, 10.0, 0.0, 88);
+  Engine::Options opts{.mode = Engine::Mode::kGrid};
+  opts.shard_policy = ShardPolicy::kEven;
+  ExpectParallelMatchesSerial(net, opts, {2, 5}, "even-policy");
+}
+
+TEST(ParallelEngineTest, TileBoundaryStress) {
+  // Positions pinned to exact tile-grid lines (multiples of the cell side,
+  // including the coverage corners) exercise the boundary ownership of
+  // TileAt; sharding must agree with serial no matter which side of a cut
+  // a boundary tile lands on.
+  constexpr double kCell = 2.0;
+  constexpr double kSide = 10.0;
+  Xoshiro256ss rng(2024);
+  std::vector<Vec2> pts;
+  std::vector<NodeId> ids;
+  int next_id = 1;
+  for (int gx = 0; gx <= 5; ++gx) {
+    for (int gy = 0; gy <= 5; ++gy) {
+      pts.push_back({gx * kCell, gy * kCell});  // every grid-line crossing
+      ids.push_back(next_id++);
+    }
+  }
+  for (int i = 0; i < 264; ++i) {  // random mix: on-line and interior
+    const double x = rng.NextBelow(2) == 0
+                         ? kCell * static_cast<double>(rng.NextBelow(6))
+                         : kSide * rng.NextDouble();
+    const double y = rng.NextBelow(2) == 0
+                         ? kCell * static_cast<double>(rng.NextBelow(6))
+                         : kSide * rng.NextDouble();
+    pts.push_back({x, y});
+    ids.push_back(next_id++);
+  }
+  Params params = Params::Default();
+  params.id_space = 1 << 16;
+  const Network net(std::move(pts), std::move(ids), params);
+  ExpectParallelMatchesSerial(net, {.mode = Engine::Mode::kGrid, .cell = kCell},
+                              {2, 3, 7}, "tile-boundary");
+}
+
+TEST(ParallelEngineTest, MovingChurningNetworkStaysIdentical) {
+  const int n = 500;
+  const double side = 11.0;
+  Network net = MakeUniformNet(n, side, 0.0, 555);
+  Engine::Options base{.mode = Engine::Mode::kGrid};
+  base.coverage = Box{{0.0, 0.0}, {side, side}};
+  Engine::Options par_opts = base;
+  par_opts.threads = 3;
+  // Non-const: index maintenance (SyncIndex / IndexErase / IndexInsert)
+  // mutates the engines' grids.
+  Engine serial(net, base);
+  Engine par(net, par_opts);
+
+  Xoshiro256ss rng(777);
+  std::vector<char> active(n, 1);
+  std::vector<Vec2> pos = net.positions();
+  std::vector<std::size_t> tx, listeners;
+  std::vector<Reception> want, got;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    // Random walk inside the coverage box.
+    for (int i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      pos[i].x = std::min(side, std::max(0.0, pos[i].x +
+                                                  0.6 * (rng.NextDouble() - 0.5)));
+      pos[i].y = std::min(side, std::max(0.0, pos[i].y +
+                                                  0.6 * (rng.NextDouble() - 0.5)));
+    }
+    net.SetPositions(pos);
+    serial.SyncIndex();
+    par.SyncIndex();
+    // Churn: ~5% leave, previously-left nodes rejoin at fresh positions.
+    for (int i = 0; i < n; ++i) {
+      if (active[i] && rng.NextBelow(20) == 0) {
+        active[i] = 0;
+        serial.IndexErase(i);
+        par.IndexErase(i);
+      } else if (!active[i] && rng.NextBelow(4) == 0) {
+        const Vec2 p{side * rng.NextDouble(), side * rng.NextDouble()};
+        pos[i] = p;
+        net.SetPosition(i, p);
+        active[i] = 1;
+        serial.IndexInsert(i);
+        par.IndexInsert(i);
+      }
+    }
+    tx.clear();
+    listeners.clear();
+    for (int i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      (i % 5 == epoch % 5 ? tx : listeners).push_back(i);
+    }
+    serial.StepInto(tx, listeners, want);
+    par.StepInto(tx, listeners, got);
+    ExpectBitIdentical(want, got, "epoch " + std::to_string(epoch));
+  }
+  EXPECT_GT(par.stats().parallel_rounds, 0);
+}
+
+TEST(ParallelEngineTest, SmallRoundsFallBackToSerialExecution) {
+  const Network net = MakeUniformNet(64, 4.0, 0.0, 3);
+  Engine::Options opts{.mode = Engine::Mode::kGrid};
+  opts.threads = 8;
+  const Engine par(net, opts);
+  const std::vector<std::size_t> tx = {0, 1, 2};
+  // 4 listeners < kMinListenersPerShard * 8: not worth a dispatch.
+  const std::vector<std::size_t> listeners = {10, 11, 12, 13};
+  const Engine serial(net, {.mode = Engine::Mode::kGrid});
+  ExpectBitIdentical(serial.Step(tx, listeners), par.Step(tx, listeners),
+                     "small round");
+  EXPECT_EQ(par.stats().parallel_rounds, 0);
+  EXPECT_EQ(par.stats().parallel_small_rounds, 1);
+}
+
+TEST(ParallelEngineTest, SingleTileGridRunsSeriallyInsteadOfIdleShards) {
+  // cell >= side leaves one tile: the domain cannot be decomposed, so the
+  // round must skip the dispatch (idle workers would be pure overhead)
+  // and still produce serial results.
+  const Network net = MakeUniformNet(128, 4.0, 0.0, 21);
+  Engine::Options opts{.mode = Engine::Mode::kGrid, .cell = 8.0};
+  opts.threads = 4;
+  const Engine par(net, opts);
+  const Engine serial(net, {.mode = Engine::Mode::kGrid, .cell = 8.0});
+  std::vector<std::size_t> tx, listeners;
+  SplitTxListeners(net.size(), 4, tx, listeners);
+  ExpectBitIdentical(serial.Step(tx, listeners), par.Step(tx, listeners),
+                     "one tile");
+  EXPECT_EQ(par.stats().parallel_rounds, 0);
+  EXPECT_EQ(par.stats().parallel_small_rounds, 1);
+}
+
+TEST(ParallelEngineTest, ShardLoadsAccountForEveryListener) {
+  const Network net = MakeUniformNet(600, 12.0, 0.0, 11);
+  Engine::Options opts{.mode = Engine::Mode::kGrid};
+  opts.threads = 4;
+  const Engine par(net, opts);
+  std::vector<std::size_t> tx, listeners;
+  SplitTxListeners(net.size(), 3, tx, listeners);
+  std::vector<Reception> out;
+  const int rounds = 5;
+  for (int r = 0; r < rounds; ++r) par.StepInto(tx, listeners, out);
+  const auto& st = par.stats();
+  EXPECT_EQ(st.parallel_rounds, rounds);
+  ASSERT_EQ(st.shard_listeners.size(), 4u);
+  std::int64_t total = 0;
+  for (const std::int64_t l : st.shard_listeners) total += l;
+  EXPECT_EQ(total, static_cast<std::int64_t>(listeners.size()) * rounds);
+}
+
+// --- Scenario plumbing ------------------------------------------------------
+
+TEST(ParallelScenarioTest, ParallelRunReportsSectionAndIdenticalMetrics) {
+  scenario::ScenarioSpec spec;
+  spec.topology_params.Set("n", "40");
+  spec.topology_params.Set("side", "3.5");
+  spec.sinr.id_space = 4096;
+
+  const scenario::RunReport serial = RunScenario(spec, 1);
+  ASSERT_TRUE(serial.ok) << serial.error;
+  EXPECT_TRUE(serial.parallel.empty());
+
+  spec.engine.threads = 3;
+  const scenario::RunReport par = RunScenario(spec, 1);
+  ASSERT_TRUE(par.ok) << par.error;
+  ASSERT_FALSE(par.parallel.empty());
+  EXPECT_EQ(par.parallel.threads, 3);
+  EXPECT_GT(par.parallel.rounds_parallel, 0);
+  EXPECT_EQ(par.parallel.shard_load.size(), 3u);
+  EXPECT_GE(par.parallel.imbalance, 1.0);
+  // The decomposition must not change a single metric.
+  ASSERT_EQ(serial.metrics.entries().size(), par.metrics.entries().size());
+  for (std::size_t i = 0; i < serial.metrics.entries().size(); ++i) {
+    EXPECT_EQ(serial.metrics.entries()[i], par.metrics.entries()[i]);
+  }
+}
+
+TEST(ParallelScenarioTest, SweepOccupyingThePoolRunsItsEnginesSerially) {
+  // Multi-job sweeps own the pool; each run's engine must take the cheap
+  // serial path (and say so) instead of decomposing rounds whose nested
+  // fan-out would execute inline anyway. Guarded to hosts with real pool
+  // workers — on a 1-thread pool, sweep jobs run on the caller and the
+  // engines legitimately shard.
+  if (parallel::WorkerPool::Shared().parallelism() < 2) {
+    GTEST_SKIP() << "no pool workers on this host";
+  }
+  scenario::ScenarioSpec spec;
+  spec.topology_params.Set("n", "32");
+  spec.topology_params.Set("side", "3");
+  spec.sinr.id_space = 4096;
+  spec.seeds = {1, 2};
+  spec.threads = 2;
+  spec.engine.threads = 2;  // what --threads=2 sets
+  for (const scenario::RunReport& rep : RunSweep(spec)) {
+    ASSERT_TRUE(rep.ok) << rep.error;
+    ASSERT_FALSE(rep.parallel.empty());
+    EXPECT_EQ(rep.parallel.rounds_parallel, 0);
+    EXPECT_GT(rep.parallel.rounds_serial, 0);
+  }
+}
+
+TEST(ParallelScenarioTest, ThreadsFlagDrivesEngineAndRoundTrips) {
+  const auto spec = scenario::ScenarioSpec::FromArgs(
+      {"--topology=uniform:n=32,side=3", "--algo=clustering", "--seeds=1",
+       "--threads=4"});
+  EXPECT_EQ(spec.threads, 4);
+  EXPECT_EQ(spec.engine.threads, 4);
+  EXPECT_EQ(scenario::ScenarioSpec::FromArgs(spec.ToArgs()), spec);
+  // Same bounds as DCC_ENGINE_THREADS — an absurd shard count must fail
+  // validation, not allocation.
+  EXPECT_THROW(scenario::ScenarioSpec::FromArgs({"--threads=100000"}),
+               InvalidArgument);
+  EXPECT_THROW(scenario::ScenarioSpec::FromArgs({"--threads=-1"}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcc

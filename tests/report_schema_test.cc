@@ -84,6 +84,17 @@ TEST(ReportSchemaDocTest, SweepExampleIsCurrent) {
   EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.sweep.v1"), line);
 }
 
+TEST(ReportSchemaDocTest, ParallelExampleIsCurrent) {
+  ScenarioSpec spec = PinnedStaticSpec();
+  spec.threads = 2;
+  spec.engine.threads = 2;  // what --threads=2 sets
+  const RunReport rep = RunScenario(spec, 1);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  std::ostringstream out;
+  rep.PrintJson(out);
+  EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.parallel.v1"), out.str());
+}
+
 TEST(ReportSchemaDocTest, DynamicExampleIsCurrent) {
   const RunReport rep = RunScenario(PinnedDynamicSpec(), 1);
   ASSERT_TRUE(rep.ok) << rep.error;
