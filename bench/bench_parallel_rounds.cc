@@ -4,15 +4,25 @@
 //
 // For each n in {4096, 16384, 65536} (--full extends the ladder to 262144
 // and 1048576) and each transmitter regime — dense (every 8th node
-// transmits, the acceptance-target workload) and sparse (every 64th) —
-// the bench walks a thread ladder {1, 2, 4, ..., hw}: it first pins the
-// parallel round's receptions bit-identical to threads=1, then times
-// ms/round and reports the speedup over the serial engine. Per-shard
+// transmits, the acceptance-target workload), sparse (every 64th) and
+// dynamic (a mobility + churn epoch loop exercising the incremental index
+// path) — the bench walks a thread ladder {1, 2, 4, ..., hw}: it first
+// pins the parallel round's receptions bit-identical to threads=1, then
+// times ms/round and reports the speedup over the serial engine. For
+// threads > 1 each config is timed twice: --pipeline off and on (the on
+// pass discloses every next round via SetNextRound, the schedule-driven
+// pattern), so the pipelining win is a first-class column. Per-shard
 // cumulative loads come straight from Engine::Stats.
 //
-// Output: a human table by default; with --compare_json, one JSON object
-// per line (dcc.bench.parallel_rounds.v1) — CI uploads this as
-// BENCH_parallel.json so the bench trajectory has per-commit data points.
+// Flags:
+//   --compare_json   one JSON object per line (dcc.bench.parallel_rounds.v1)
+//   --full           extend the size ladder
+//   --min_shard=G    Engine::Options::min_listeners_per_shard (default 2)
+//   --sweep_grain    sweep the grain over {1, 2, 8, 64, 512, 4096} instead
+//                    of the single --min_shard value
+//
+// CI uploads the JSON as BENCH_parallel.json and scripts/bench_trend.py
+// appends key configs to the tracked BENCH_trend.json.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -29,6 +39,8 @@
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using dcc::Box;
+using dcc::Vec2;
 using dcc::sinr::Engine;
 using dcc::sinr::Network;
 using dcc::sinr::Reception;
@@ -62,9 +74,12 @@ bool SameReceptions(const std::vector<Reception>& a,
   return true;
 }
 
-// ms per round, over enough rounds to fill ~300 ms of wall clock.
+// ms per round, over enough rounds to fill ~300 ms of wall clock. With
+// `pipeline` set, every round's sets are disclosed up front — the
+// steady-schedule pattern the TDMA lookaheads produce.
 double TimeRounds(const Engine& eng, const std::vector<std::size_t>& tx,
-                  const std::vector<std::size_t>& listeners) {
+                  const std::vector<std::size_t>& listeners,
+                  bool pipeline = false) {
   std::vector<Reception> out;
   const auto w0 = Clock::now();
   eng.StepInto(tx, listeners, out);  // warmup sizes the scratch
@@ -72,9 +87,13 @@ double TimeRounds(const Engine& eng, const std::vector<std::size_t>& tx,
       std::chrono::duration<double, std::milli>(Clock::now() - w0).count();
   const int rounds = std::max(3, static_cast<int>(300.0 / (warm_ms + 0.01)));
   const auto t0 = Clock::now();
-  for (int r = 0; r < rounds; ++r) eng.StepInto(tx, listeners, out);
+  for (int r = 0; r < rounds; ++r) {
+    if (pipeline) eng.SetNextRound(tx, listeners);
+    eng.StepInto(tx, listeners, out);
+  }
   const double ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  eng.ClearNextRound();
   return ms / rounds;
 }
 
@@ -89,18 +108,135 @@ std::vector<int> ThreadLadder() {
   return ladder;
 }
 
+// --- Dynamic regime: mobility + churn epochs over the parallel engine. ---
+
+constexpr int kEpochs = 4;
+constexpr int kRoundsPerEpoch = 6;
+constexpr std::size_t kChurnPeriod = 41;  // ~2.4% of nodes off per epoch
+
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic per-epoch displacement of every node from its base
+// position, up to 0.5 per axis (absolute, not cumulative, so every pass
+// sees the identical trajectory).
+void JitterPositions(const std::vector<Vec2>& base, int epoch,
+                     std::vector<Vec2>& out) {
+  out.resize(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const std::uint64_t h =
+        Mix(i * 2654435761ull + static_cast<std::uint64_t>(epoch) * 40503ull);
+    const double dx =
+        (static_cast<double>(h & 0xffffffffu) / 4294967295.0 - 0.5);
+    const double dy =
+        (static_cast<double>(h >> 32) / 4294967295.0 - 0.5);
+    out[i] = Vec2{base[i].x + dx, base[i].y + dy};
+  }
+}
+
+// One full epoch loop: per epoch, move every node, flip the churn slice,
+// then run the round schedule. Appends every reception to `digest` (the
+// cross-config identity witness) and returns ms/round over the whole pass.
+double DynamicPass(const Network& base_net, Engine::Options opts,
+                   bool pipeline, std::vector<Reception>& digest) {
+  Network net = base_net;  // mutable copy: mobility rewrites positions
+  const std::vector<Vec2> base = net.positions();
+  Box box = dcc::BoundingBox(base);
+  box.lo.x -= 1.0;
+  box.lo.y -= 1.0;
+  box.hi.x += 1.0;
+  box.hi.y += 1.0;
+  opts.coverage = box;
+  opts.pipeline = pipeline;
+  Engine eng(net, opts);
+
+  std::vector<char> active(net.size(), 1);
+  std::vector<Vec2> pts;
+  std::vector<std::size_t> tx, listeners;
+  std::vector<Reception> out;
+  const auto t0 = Clock::now();
+  for (int e = 0; e < kEpochs; ++e) {
+    JitterPositions(base, e, pts);
+    net.SetPositions(pts);
+    eng.SyncIndex();
+    // Rotating churn slice: node i is off during epoch e iff
+    // (i + e) % kChurnPeriod == 0.
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const char on =
+          (i + static_cast<std::size_t>(e)) % kChurnPeriod == 0 ? 0 : 1;
+      if (on == active[i]) continue;
+      if (on) {
+        eng.IndexInsert(i);
+      } else {
+        eng.IndexErase(i);
+      }
+      active[i] = on;
+    }
+    tx.clear();
+    listeners.clear();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (!active[i]) continue;
+      (i % 8 == 0 ? tx : listeners).push_back(i);
+    }
+    for (int r = 0; r < kRoundsPerEpoch; ++r) {
+      if (pipeline) eng.SetNextRound(tx, listeners);
+      eng.StepInto(tx, listeners, out);
+      digest.insert(digest.end(), out.begin(), out.end());
+    }
+  }
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return ms / (kEpochs * kRoundsPerEpoch);
+}
+
+void EmitLine(bool json, int n, const char* regime, std::size_t n_tx,
+              std::size_t n_listen, int threads, std::size_t min_shard,
+              bool pipeline, double ms, double speedup, bool identical,
+              int* bad) {
+  *bad += identical ? 0 : 1;
+  if (json) {
+    std::cout << "{\"schema\": \"dcc.bench.parallel_rounds.v1\", "
+              << "\"n\": " << n << ", \"regime\": \"" << regime
+              << "\", \"tx\": " << n_tx << ", \"listeners\": " << n_listen
+              << ", \"threads\": " << threads << ", \"min_shard\": "
+              << min_shard << ", \"pipeline\": "
+              << (pipeline ? "true" : "false") << ", \"ms_per_round\": " << ms
+              << ", \"speedup\": " << speedup << ", \"identical\": "
+              << (identical ? "true" : "false") << "}\n";
+  } else {
+    std::printf("%7d  %-7s  %7d  %8zu  %-4s  %8.3f  %7.2fx  %s\n", n, regime,
+                threads, min_shard, pipeline ? "on" : "off", ms, speedup,
+                identical ? "yes" : "NO");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   bool full = false;
+  bool sweep_grain = false;
+  std::size_t min_shard = Engine::Options{}.min_listeners_per_shard;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compare_json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--full") == 0) {
       full = true;
+    } else if (std::strcmp(argv[i], "--sweep_grain") == 0) {
+      sweep_grain = true;
+    } else if (std::strncmp(argv[i], "--min_shard=", 12) == 0) {
+      min_shard = static_cast<std::size_t>(std::atoll(argv[i] + 12));
+      if (min_shard < 1) {
+        std::cerr << "bench_parallel_rounds: --min_shard must be >= 1\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: bench_parallel_rounds [--compare_json] [--full]\n";
+      std::cerr << "usage: bench_parallel_rounds [--compare_json] [--full] "
+                   "[--min_shard=G] [--sweep_grain]\n";
       return 2;
     }
   }
@@ -111,18 +247,24 @@ int main(int argc, char** argv) {
     sizes.push_back(1048576);
   }
   const std::vector<int> ladder = ThreadLadder();
+  const std::vector<std::size_t> grains =
+      sweep_grain ? std::vector<std::size_t>{1, 2, 8, 64, 512, 4096}
+                  : std::vector<std::size_t>{min_shard};
 
   if (!json) {
     std::cout << "parallel sharded rounds (grid engine, shared pool; hw "
                  "parallelism "
               << dcc::parallel::WorkerPool::Shared().parallelism() << ")\n"
-              << "      n  regime   threads  ms/round   speedup  identical\n";
+              << "      n  regime   threads     grain  pipe  ms/round   "
+                 "speedup  identical\n";
   }
 
   int bad = 0;
   for (const int n : sizes) {
     const Network net = MakeNet(n);
     std::vector<std::size_t> tx, listeners;
+
+    // Static regimes: a fixed round repeated.
     for (const auto& [regime, period] :
          {std::pair<const char*, std::size_t>{"dense", 8},
           std::pair<const char*, std::size_t>{"sparse", 64}}) {
@@ -130,28 +272,54 @@ int main(int argc, char** argv) {
       const Engine serial(net, {.mode = Engine::Mode::kGrid});
       const std::vector<Reception> want = serial.Step(tx, listeners);
       const double serial_ms = TimeRounds(serial, tx, listeners);
-      for (const int threads : ladder) {
-        Engine::Options opts{.mode = Engine::Mode::kGrid};
-        opts.threads = threads;
-        const Engine par(net, opts);
-        const bool identical = SameReceptions(want, par.Step(tx, listeners));
-        bad += identical ? 0 : 1;
-        const double ms =
-            threads == 1 ? serial_ms : TimeRounds(par, tx, listeners);
-        const double speedup = serial_ms / ms;
-        if (json) {
-          std::cout << "{\"schema\": \"dcc.bench.parallel_rounds.v1\", "
-                    << "\"n\": " << n << ", \"regime\": \"" << regime
-                    << "\", \"tx\": " << tx.size()
-                    << ", \"listeners\": " << listeners.size()
-                    << ", \"threads\": " << threads << ", \"ms_per_round\": "
-                    << ms << ", \"speedup\": " << speedup
-                    << ", \"identical\": " << (identical ? "true" : "false")
-                    << "}\n";
-        } else {
-          std::printf("%7d  %-7s  %7d  %8.3f  %7.2fx  %s\n", n, regime,
-                      threads, ms, speedup, identical ? "yes" : "NO");
+      for (const std::size_t grain : grains) {
+        for (const int threads : ladder) {
+          Engine::Options opts{.mode = Engine::Mode::kGrid};
+          opts.threads = threads;
+          opts.min_listeners_per_shard = grain;
+          const Engine par(net, opts);
+          const bool identical = SameReceptions(want, par.Step(tx, listeners));
+          const double ms =
+              threads == 1 ? serial_ms : TimeRounds(par, tx, listeners);
+          EmitLine(json, n, regime, tx.size(), listeners.size(), threads,
+                   grain, false, ms, serial_ms / ms, identical, &bad);
+          if (threads == 1) continue;  // pipeline needs a pool
+          opts.pipeline = true;
+          const Engine piped(net, opts);
+          piped.SetNextRound(tx, listeners);
+          const bool id_on = SameReceptions(want, piped.Step(tx, listeners));
+          const double ms_on = TimeRounds(piped, tx, listeners, true);
+          EmitLine(json, n, regime, tx.size(), listeners.size(), threads,
+                   grain, true, ms_on, serial_ms / ms_on, id_on, &bad);
         }
+      }
+    }
+
+    // Dynamic regime: mobility + churn epochs; identity is checked over
+    // the concatenated receptions of the whole identical mutation
+    // sequence.
+    {
+      std::vector<Reception> want;
+      Engine::Options base_opts{.mode = Engine::Mode::kGrid};
+      base_opts.min_listeners_per_shard = grains.front();
+      const double serial_ms = DynamicPass(net, base_opts, false, want);
+      const std::size_t n_tx = (net.size() + 7) / 8;
+      EmitLine(json, n, "dynamic", n_tx, net.size() - n_tx, 1,
+               grains.front(), false, serial_ms, 1.0, true, &bad);
+      for (const int threads : ladder) {
+        if (threads == 1) continue;
+        Engine::Options opts = base_opts;
+        opts.threads = threads;
+        std::vector<Reception> got;
+        const double ms = DynamicPass(net, opts, false, got);
+        EmitLine(json, n, "dynamic", n_tx, net.size() - n_tx, threads,
+                 grains.front(), false, ms, serial_ms / ms,
+                 SameReceptions(want, got), &bad);
+        got.clear();
+        const double ms_on = DynamicPass(net, opts, true, got);
+        EmitLine(json, n, "dynamic", n_tx, net.size() - n_tx, threads,
+                 grains.front(), true, ms_on, serial_ms / ms_on,
+                 SameReceptions(want, got), &bad);
       }
     }
   }

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Tracked performance trend for bench_parallel_rounds.
+
+BENCH_trend.json (at the repo root, committed) holds one entry per
+recorded run: a timestamp, the host parallelism, and the key
+dcc.bench.parallel_rounds.v1 config points. This script maintains it:
+
+  append   read bench JSON lines on stdin (bench_parallel_rounds
+           --compare_json) and append one trend entry
+  check    read bench JSON lines on stdin and compare against the last
+           committed entry: exit 1 if any matching config slowed down by
+           more than --threshold (default 15%); configs under --min-ms
+           are skipped as noise
+  delta    same comparison, but emit a markdown table (for
+           $GITHUB_STEP_SUMMARY) and always exit 0
+
+Points are matched on (n, regime, threads, pipeline, min_shard). Configs
+present in one side only produce a warning, never a failure — the ladder
+legitimately varies with host core count. The regression gate can be
+skipped for a known-slow commit with `[bench-skip]` in the commit message
+(the CI job checks the tag, not this script).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+KEY_FIELDS = ("n", "regime", "threads", "pipeline", "min_shard")
+# The acceptance-relevant configs a trend entry records; everything else
+# in the bench output is transient diagnostics.
+KEEP_REGIMES = {"dense", "sparse", "dynamic"}
+
+
+def read_points(stream):
+    """Parses bench JSON lines into {key_tuple: point_dict}."""
+    points = {}
+    for line in stream:
+        line = line.strip()
+        if not line or not line.startswith("{"):
+            continue
+        obj = json.loads(line)
+        if obj.get("schema") != "dcc.bench.parallel_rounds.v1":
+            continue
+        if obj.get("regime") not in KEEP_REGIMES:
+            continue
+        key = tuple(obj.get(f) for f in KEY_FIELDS)
+        points[key] = obj
+    return points
+
+
+def load_trend(path):
+    if not path.exists():
+        return []
+    with path.open() as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise SystemExit(f"bench_trend: {path} is not a JSON list")
+    return data
+
+
+def fmt_key(key):
+    n, regime, threads, pipeline, min_shard = key
+    pipe = "on" if pipeline else "off"
+    return f"n={n} {regime} t={threads} pipe={pipe} grain={min_shard}"
+
+
+def cmd_append(args, points):
+    path = Path(args.trend_file)
+    trend = load_trend(path)
+    entry = {
+        "schema": "dcc.bench_trend.v1",
+        "recorded_unix": int(time.time()),
+        "host_parallelism": args.host_parallelism,
+        "label": args.label,
+        "points": [points[k] for k in sorted(points, key=str)],
+    }
+    trend.append(entry)
+    with path.open("w") as f:
+        json.dump(trend, f, indent=1)
+        f.write("\n")
+    print(f"bench_trend: appended entry #{len(trend)} "
+          f"({len(points)} points) to {path}")
+    return 0
+
+
+def compare(args, points):
+    """Returns (rows, regressions): per-config comparison vs the last
+    committed entry. Rows are (key, base_ms, new_ms, ratio_or_None)."""
+    trend = load_trend(Path(args.trend_file))
+    if not trend:
+        print("bench_trend: no committed trend entry yet — nothing to "
+              "compare against", file=sys.stderr)
+        return [], []
+    base = {tuple(p.get(f) for f in KEY_FIELDS): p
+            for p in trend[-1]["points"]}
+    rows, regressions = [], []
+    for key in sorted(set(base) | set(points), key=str):
+        b, p = base.get(key), points.get(key)
+        if b is None or p is None:
+            side = "baseline" if p is None else "new run"
+            print(f"bench_trend: warning: {fmt_key(key)} only in {side}",
+                  file=sys.stderr)
+            continue
+        base_ms, new_ms = b["ms_per_round"], p["ms_per_round"]
+        if base_ms < args.min_ms or new_ms < args.min_ms:
+            rows.append((key, base_ms, new_ms, None))  # noise floor
+            continue
+        ratio = new_ms / base_ms
+        rows.append((key, base_ms, new_ms, ratio))
+        if ratio > 1.0 + args.threshold / 100.0:
+            regressions.append((key, base_ms, new_ms, ratio))
+    return rows, regressions
+
+
+def cmd_check(args, points):
+    rows, regressions = compare(args, points)
+    if not rows:
+        return 0
+    for key, base_ms, new_ms, ratio in regressions:
+        print(f"bench_trend: REGRESSION {fmt_key(key)}: "
+              f"{base_ms:.3f} -> {new_ms:.3f} ms/round "
+              f"({(ratio - 1) * 100:+.1f}%)", file=sys.stderr)
+    if regressions:
+        print(f"bench_trend: {len(regressions)} config(s) regressed more "
+              f"than {args.threshold}% vs the last committed trend point "
+              f"(commit with [bench-skip] to override)", file=sys.stderr)
+        return 1
+    print(f"bench_trend: {len(rows)} configs within {args.threshold}% of "
+          f"the last committed trend point")
+    return 0
+
+
+def cmd_delta(args, points):
+    rows, regressions = compare(args, points)
+    print("| config | committed ms | this run ms | delta |")
+    print("|---|---|---|---|")
+    for key, base_ms, new_ms, ratio in rows:
+        delta = ("(under noise floor)" if ratio is None
+                 else f"{(ratio - 1) * 100:+.1f}%")
+        print(f"| {fmt_key(key)} | {base_ms:.3f} | {new_ms:.3f} | {delta} |")
+    if regressions:
+        print(f"\n**{len(regressions)} config(s) over the "
+              f"{args.threshold}% regression threshold.**")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("command", choices=["append", "check", "delta"])
+    ap.add_argument("--trend-file", default="BENCH_trend.json")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="regression gate, percent (default 15)")
+    ap.add_argument("--min-ms", type=float, default=1.0,
+                    help="skip configs faster than this (noise floor)")
+    ap.add_argument("--host-parallelism", type=int, default=0,
+                    help="recorded with `append` (pool parallelism)")
+    ap.add_argument("--label", default="",
+                    help="free-form tag recorded with `append`")
+    args = ap.parse_args()
+
+    points = read_points(sys.stdin)
+    if not points and args.command != "delta":
+        print("bench_trend: no dcc.bench.parallel_rounds.v1 lines on stdin",
+              file=sys.stderr)
+        return 2
+    return {"append": cmd_append, "check": cmd_check,
+            "delta": cmd_delta}[args.command](args, points)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,0 +1,34 @@
+#include "dcc/parallel/round_pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+#include "dcc/common/types.h"
+
+namespace dcc::parallel {
+
+void RoundPlanner::Launch(std::function<void()> build) {
+  DCC_CHECK(pool_ != nullptr);
+  DCC_CHECK(!handle_.valid());
+  handle_ = pool_->Submit([this, b = std::move(build)] {
+    const auto t0 = std::chrono::steady_clock::now();
+    b();
+    build_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  });
+}
+
+RoundPlanner::Outcome RoundPlanner::Collect() {
+  DCC_CHECK(handle_.valid());
+  Outcome out;
+  out.overlapped = handle_.Wait();
+  out.build_ns = build_ns_;
+  return out;
+}
+
+void RoundPlanner::Abandon() {
+  if (handle_.valid()) handle_.Wait();
+}
+
+}  // namespace dcc::parallel

@@ -1,0 +1,67 @@
+// RoundPlanner — the single-slot asynchronous stage behind the engine's
+// round pipeline. A caller that can disclose the next round's inputs ahead
+// of time Launch()es a build closure; the closure is published as one
+// work-stealing ticket (WorkerPool::Submit), so an idle worker — typically
+// one freed by the tail of a sweep, or one whose shard finished early —
+// executes the next round's prologue while the current round's shards are
+// still resolving listeners.
+//
+// The planner guarantees nothing about *where* the closure runs, only that
+// Collect() returns strictly after it ran: if no worker claimed the ticket
+// (a 0-worker pool, or everyone busy), Collect() runs it inline, which
+// degrades to exactly the serial prologue cost. Collect's Outcome says
+// whether the overlap actually happened and how long the build took, so
+// callers can report honest pipelining stats instead of assumed ones.
+//
+// Thread-safety: one planner is owned by one engine; Launch/Collect/
+// Abandon are called from the engine's (single) stepping thread. The only
+// concurrency is the build closure itself, and Collect/Abandon are the
+// happens-before edge that makes its writes visible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dcc/parallel/worker_pool.h"
+
+namespace dcc::parallel {
+
+class RoundPlanner {
+ public:
+  RoundPlanner() = default;
+  explicit RoundPlanner(WorkerPool* pool) : pool_(pool) {}
+
+  // Destroying a planner with a build in flight waits for it (TaskHandle's
+  // destructor), so the closure never outlives its captures.
+
+  bool pending() const { return handle_.valid(); }
+
+  // Schedules `build` for asynchronous execution. Exactly one build may be
+  // in flight; Collect() or Abandon() it first. Requires a pool.
+  void Launch(std::function<void()> build);
+
+  struct Outcome {
+    // Another thread executed the build before Collect (the prologue
+    // genuinely overlapped the previous round); false when Collect ran it
+    // inline just now.
+    bool overlapped = false;
+    // Wall time the build took, wherever it ran.
+    std::int64_t build_ns = 0;
+  };
+
+  // Waits for the in-flight build (running it inline if unclaimed) and
+  // reports where it ran. Requires pending().
+  Outcome Collect();
+
+  // Collect() for invalidation paths: the caller is about to mutate state
+  // the build reads, so the build must finish (or run) now and its result
+  // will be discarded.
+  void Abandon();
+
+ private:
+  WorkerPool* pool_ = nullptr;
+  WorkerPool::TaskHandle handle_;
+  std::int64_t build_ns_ = 0;  // written by the closure, read after Wait
+};
+
+}  // namespace dcc::parallel

@@ -36,7 +36,10 @@ void RunReport::PrintJson(std::ostream& os) const {
       if (i) os << ", ";
       os << parallel.shard_load[i];
     }
-    os << "], \"imbalance\": " << JsonNumber(parallel.imbalance) << '}';
+    os << "], \"imbalance\": " << JsonNumber(parallel.imbalance)
+       << ", \"rounds_pipelined\": " << parallel.rounds_pipelined
+       << ", \"prologue_overlap_ns\": " << parallel.prologue_overlap_ns
+       << ", \"steal_count\": " << parallel.steal_count << '}';
   }
   os << '}';
 }
@@ -48,6 +51,9 @@ void FillParallelSection(RunReport& rep, const sinr::Engine& engine) {
   rep.parallel.rounds_parallel = st.parallel_rounds;
   rep.parallel.rounds_serial = st.parallel_small_rounds;
   rep.parallel.shard_load = st.shard_listeners;
+  rep.parallel.rounds_pipelined = st.rounds_pipelined;
+  rep.parallel.prologue_overlap_ns = st.prologue_overlap_ns;
+  rep.parallel.steal_count = st.steal_count;
   rep.parallel.imbalance = 0.0;
   if (!st.shard_listeners.empty()) {
     std::int64_t total = 0;

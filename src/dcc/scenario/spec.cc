@@ -167,10 +167,19 @@ ScenarioSpec ScenarioSpec::FromArgs(const std::vector<std::string>& args) {
                               "' must be in [0, 4096] (0 = hardware)");
       }
       // One knob, both layers: sweep workers AND engine round shards. The
-      // shared WorkerPool arbitrates — a sweep wide enough to occupy it
-      // runs its engines serially (nested fan-outs degrade inline), while
-      // a single run gets its rounds sharded across the same threads.
+      // shared WorkerPool arbitrates — nested engine fan-outs publish
+      // tickets idle workers steal, so the tail of a sweep donates its
+      // freed threads to the runs still going.
       spec.engine.threads = spec.threads;
+    } else if (key == "--pipeline") {
+      if (val == "on") {
+        spec.engine.pipeline = true;
+      } else if (val == "off") {
+        spec.engine.pipeline = false;
+      } else {
+        throw InvalidArgument("--pipeline: expected on or off, got '" + val +
+                              "'");
+      }
     } else {
       throw InvalidArgument("unknown scenario flag '" + key + "'");
     }
@@ -235,6 +244,7 @@ std::vector<std::string> ScenarioSpec::ToArgs() const {
   if (max_rounds != 0) args.push_back("--rounds=" + std::to_string(max_rounds));
   if (faults != 0) args.push_back("--faults=" + std::to_string(faults));
   if (threads != 0) args.push_back("--threads=" + std::to_string(threads));
+  if (engine.pipeline) args.push_back("--pipeline=on");
   return args;
 }
 

@@ -149,6 +149,11 @@ double AutoCell(const Network& net, const std::optional<Box>& coverage) {
                   std::sqrt(64.0 * area / static_cast<double>(net.size())));
 }
 
+bool SpanEq(const std::vector<std::size_t>& a,
+            std::span<const std::size_t> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
 }  // namespace
 
 Engine::Options Engine::Options::FromEnv() {
@@ -183,6 +188,16 @@ Engine::Options Engine::Options::FromEnv() {
     }
     opts.threads = static_cast<int>(v);
   }
+  if (const char* grain = std::getenv("DCC_ENGINE_MIN_SHARD");
+      grain && *grain != '\0') {
+    const std::int64_t v = ParseInt64(grain, "DCC_ENGINE_MIN_SHARD");
+    if (v < 1 || v > 1048576) {
+      throw InvalidArgument("DCC_ENGINE_MIN_SHARD: listener grain '" +
+                            std::string(grain) +
+                            "' must be in [1, 1048576]");
+    }
+    opts.min_listeners_per_shard = static_cast<std::size_t>(v);
+  }
   return opts;
 }
 
@@ -200,10 +215,13 @@ Engine::Engine(const Network& net, Options options)
       break;
   }
   DCC_REQUIRE(options_.threads >= 0, "Engine: threads must be >= 0");
-  threads_ = options_.threads == 0
-                 ? parallel::WorkerPool::Shared().parallelism()
-                 : options_.threads;
-  if (threads_ > 1) pool_ = &parallel::WorkerPool::Shared();
+  DCC_REQUIRE(options_.min_listeners_per_shard >= 1,
+              "Engine: min_listeners_per_shard must be >= 1");
+  parallel::WorkerPool& pool =
+      options_.pool ? *options_.pool : parallel::WorkerPool::Shared();
+  threads_ = options_.threads == 0 ? pool.parallelism() : options_.threads;
+  if (threads_ > 1) pool_ = &pool;
+  planner_ = parallel::RoundPlanner(pool_);
   if (mode_ == Mode::kGrid) {
     const double cell =
         options_.cell > 0.0 ? options_.cell : AutoCell(net, options_.coverage);
@@ -218,11 +236,17 @@ Engine::Engine(const Network& net, Options options)
     if (typeid(net.propagation()) == typeid(PathLossModel)) {
       pure_path_loss_ = static_cast<const PathLossModel*>(&net.propagation());
     }
-    tx_start_.assign(static_cast<std::size_t>(grid_->tile_count()) + 1, 0);
   }
-  is_tx_.assign(net.size(), 0);
+  for (RoundPrologue& P : prologue_) {
+    P.is_tx.assign(net.size(), 0);
+    if (grid_) {
+      P.tx_start.assign(static_cast<std::size_t>(grid_->tile_count()) + 1, 0);
+    }
+  }
   EnsureScratch(1);
 }
+
+Engine::~Engine() { AbandonPrefetch(); }
 
 void Engine::EnsureScratch(int shards) const {
   if (static_cast<int>(scratch_.size()) >= shards) return;
@@ -243,6 +267,10 @@ void Engine::EnsureScratch(int shards) const {
 
 void Engine::SyncIndex() {
   if (!grid_) return;
+  // The speculative build reads the grid; finish (and discard) it before
+  // any bucket moves. The generation bump below then keeps any *future*
+  // speculation honest.
+  AbandonPrefetch();
   const auto& pos = net_->positions();
   for (std::size_t i = 0; i < pos.size(); ++i) {
     if (grid_->Contains(i)) grid_->Move(i, pos[i]);
@@ -250,11 +278,15 @@ void Engine::SyncIndex() {
 }
 
 void Engine::IndexErase(std::size_t i) {
-  if (grid_) grid_->Erase(i);
+  if (!grid_) return;
+  AbandonPrefetch();
+  grid_->Erase(i);
 }
 
 void Engine::IndexInsert(std::size_t i) {
-  if (grid_) grid_->Insert(i, net_->position(i));
+  if (!grid_) return;
+  AbandonPrefetch();
+  grid_->Insert(i, net_->position(i));
 }
 
 std::vector<Reception> Engine::Step(
@@ -278,6 +310,187 @@ void Engine::StepInto(std::span<const std::size_t> transmitters,
     StepExact(transmitters, listeners, out);
   }
   stats_.receptions += static_cast<std::int64_t>(out.size());
+}
+
+// --- Round pipeline. ---
+
+void Engine::SetNextRound(std::span<const std::size_t> transmitters,
+                          std::span<const std::size_t> listeners) const {
+  if (!pipeline_enabled() || transmitters.empty() || listeners.empty()) {
+    next_valid_ = false;
+    return;
+  }
+  next_tx_.assign(transmitters.begin(), transmitters.end());
+  next_listeners_.assign(listeners.begin(), listeners.end());
+  // Snapshot the transmitters' positions on this (the stepping) thread:
+  // the asynchronous build and the far-sweep kernels read the snapshot, so
+  // a Network::SetPositions racing the build can never tear a coordinate.
+  // The generation stamps make any such mutation discard the speculation.
+  next_tx_pos_.resize(next_tx_.size());
+  for (std::size_t i = 0; i < next_tx_.size(); ++i) {
+    next_tx_pos_[i] = net_->position(next_tx_[i]);
+  }
+  next_index_gen_ = grid_->generation();
+  next_pos_gen_ = net_->generation();
+  next_valid_ = true;
+}
+
+void Engine::ClearNextRound() const { next_valid_ = false; }
+
+void Engine::PumpPrefetch() const { MaybePrefetchNext(); }
+
+void Engine::MaybePrefetchNext() const {
+  if (!next_valid_ || prefetch_pending_) return;
+  RoundPrologue& spare = prologue_[1 - live_slot_];
+  spare.tx.swap(next_tx_);
+  spare.listeners.swap(next_listeners_);
+  spare.tx_pos.swap(next_tx_pos_);
+  spare.index_gen = next_index_gen_;
+  spare.pos_gen = next_pos_gen_;
+  next_valid_ = false;
+  prefetch_pending_ = true;
+  planner_.Launch([this, slot = 1 - live_slot_] {
+    RoundPrologue& P = prologue_[slot];
+    BuildPrologue(P, P.tx, P.listeners, P.tx_pos.data());
+  });
+}
+
+void Engine::AbandonPrefetch() const {
+  if (!prefetch_pending_) return;
+  planner_.Abandon();
+  prefetch_pending_ = false;
+  ClearTxMarks(prologue_[1 - live_slot_], prologue_[1 - live_slot_].tx);
+}
+
+void Engine::ClearTxMarks(RoundPrologue& P,
+                          std::span<const std::size_t> tx) {
+  for (const std::size_t v : tx) {
+    if (v < P.is_tx.size()) P.is_tx[v] = 0;
+  }
+}
+
+Engine::RoundPrologue& Engine::AcquirePrologue(
+    std::span<const std::size_t> tx,
+    std::span<const std::size_t> listeners) const {
+  if (prefetch_pending_) {
+    const parallel::RoundPlanner::Outcome outcome = planner_.Collect();
+    prefetch_pending_ = false;
+    RoundPrologue& spec = prologue_[1 - live_slot_];
+    // Use the speculation only if the disclosed inputs match this round
+    // bit-for-bit and nothing the build read has mutated since: then the
+    // prologue is byte-equivalent to what a serial build would produce
+    // right now, and using it cannot change any output bit.
+    const bool valid = spec.index_gen == grid_->generation() &&
+                       spec.pos_gen == net_->generation() &&
+                       SpanEq(spec.tx, tx) && SpanEq(spec.listeners, listeners);
+    if (valid) {
+      live_slot_ = 1 - live_slot_;
+      ++stats_.rounds_pipelined;
+      if (outcome.overlapped) stats_.prologue_overlap_ns += outcome.build_ns;
+      return spec;
+    }
+    ClearTxMarks(spec, spec.tx);  // wrong guess: discard, build fresh
+  }
+  RoundPrologue& P = prologue_[live_slot_];
+  BuildPrologue(P, tx, listeners, /*tx_pos=*/nullptr);
+  return P;
+}
+
+void Engine::BuildPrologue(RoundPrologue& P, std::span<const std::size_t> tx,
+                           std::span<const std::size_t> listeners,
+                           const Vec2* tx_pos) const {
+  const Network& net = *net_;
+  const SpatialGrid& grid = *grid_;
+  const auto tiles = static_cast<std::size_t>(grid.tile_count());
+
+  // Counting sort into the CSR scratch; O(tiles + |T|).
+  if (P.tx_start.size() != tiles + 1) {
+    P.tx_start.assign(tiles + 1, 0);
+  } else {
+    std::fill(P.tx_start.begin(), P.tx_start.end(), 0);
+  }
+  if (P.is_tx.size() < net.size()) P.is_tx.resize(net.size(), 0);
+  for (const std::size_t v : tx) {
+    P.is_tx[v] = 1;
+    ++P.tx_start[static_cast<std::size_t>(grid.TileOfPoint(v)) + 1];
+  }
+  P.occupied_tx.clear();
+  for (std::size_t t = 0; t + 1 < P.tx_start.size(); ++t) {
+    if (P.tx_start[t + 1] > 0) P.occupied_tx.push_back(static_cast<int>(t));
+    P.tx_start[t + 1] += P.tx_start[t];
+  }
+  P.tx_members.resize(tx.size());
+  P.tx_sx.resize(tx.size());
+  P.tx_sy.resize(tx.size());
+  P.tx_fill.assign(P.tx_start.begin(), P.tx_start.end() - 1);
+  for (std::size_t i = 0; i < tx.size(); ++i) {
+    const std::size_t v = tx[i];
+    const std::size_t slot =
+        P.tx_fill[static_cast<std::size_t>(grid.TileOfPoint(v))]++;
+    P.tx_members[slot] = v;
+    const Vec2 p = tx_pos != nullptr ? tx_pos[i] : net.position(v);
+    P.tx_sx[slot] = p.x;
+    P.tx_sy[slot] = p.y;
+  }
+
+  // Dispatch decision + shard decomposition. Stats are NOT touched here
+  // (this may run on a pool worker); the consumer folds P.small_round into
+  // the counters.
+  const std::size_t n_listen = listeners.size();
+  P.shards = 1;
+  P.small_round = false;
+  if (threads_ > 1 && pool_ != nullptr &&
+      n_listen >= options_.min_listeners_per_shard *
+                      static_cast<std::size_t>(threads_)) {
+    P.shards = threads_;
+  } else if (threads_ > 1) {
+    P.small_round = true;
+  }
+  if (P.shards > 1) {
+    // Plan contiguous tile shards balanced by this round's listener
+    // histogram, then bucket listener ordinals by shard (stable, so each
+    // shard sees its listeners in ascending ordinal order — the exact
+    // relative order the serial sweep would process them in).
+    P.shard_weights.assign(tiles, 0);
+    P.listener_shard.resize(n_listen);
+    for (const std::size_t u : listeners) {
+      ++P.shard_weights[static_cast<std::size_t>(grid.TileOfPoint(u))];
+    }
+    P.plan.Reset(grid.tile_count(), P.shards, options_.shard_policy,
+                 P.shard_weights);
+    P.shard_ord_start.assign(static_cast<std::size_t>(P.shards) + 1, 0);
+    for (std::size_t ord = 0; ord < n_listen; ++ord) {
+      const auto k = static_cast<std::uint32_t>(
+          P.plan.ShardOfTile(grid.TileOfPoint(listeners[ord])));
+      P.listener_shard[ord] = k;
+      ++P.shard_ord_start[k + 1];
+    }
+    for (std::size_t k = 1; k < P.shard_ord_start.size(); ++k) {
+      P.shard_ord_start[k] += P.shard_ord_start[k - 1];
+    }
+    // A plan below 2 non-empty shards cannot win (tiles are the
+    // decomposition grain; e.g. a tiny network whose auto cell yields one
+    // tile): the dispatch would pay pool overhead to run serially anyway.
+    int populated = 0;
+    for (int k = 0; k < P.shards; ++k) {
+      populated += P.shard_ord_start[static_cast<std::size_t>(k) + 1] >
+                           P.shard_ord_start[static_cast<std::size_t>(k)]
+                       ? 1
+                       : 0;
+    }
+    if (populated < 2) {
+      P.shards = 1;
+      P.small_round = true;
+    } else {
+      P.shard_ordinals.resize(n_listen);
+      P.shard_ord_fill.assign(P.shard_ord_start.begin(),
+                              P.shard_ord_start.end() - 1);
+      for (std::size_t ord = 0; ord < n_listen; ++ord) {
+        P.shard_ordinals[P.shard_ord_fill[P.listener_shard[ord]]++] =
+            static_cast<std::uint32_t>(ord);
+      }
+    }
+  }
 }
 
 std::optional<Reception> Engine::ResolveExact(
@@ -307,15 +520,12 @@ void Engine::StepExact(std::span<const std::size_t> transmitters,
                        std::span<const std::size_t> listeners,
                        std::vector<Reception>& out) const {
   const std::size_t n_listen = listeners.size();
-  // No dispatch when already inside a pool fan-out (a sweep job's engine):
-  // the nested Run would execute inline anyway, so the decomposition and
-  // merge would be pure overhead reported as parallelism.
-  const int shards = threads_ > 1 && pool_ != nullptr &&
-                             !pool_->OnWorkerThread() &&
-                             n_listen >= kMinListenersPerShard *
-                                             static_cast<std::size_t>(threads_)
-                         ? threads_
-                         : 1;
+  const int shards =
+      threads_ > 1 && pool_ != nullptr &&
+              n_listen >= options_.min_listeners_per_shard *
+                              static_cast<std::size_t>(threads_)
+          ? threads_
+          : 1;
   if (shards <= 1) {
     if (threads_ > 1) ++stats_.parallel_small_rounds;
     for (const std::size_t u : listeners) {
@@ -331,18 +541,19 @@ void Engine::StepExact(std::span<const std::size_t> transmitters,
   if (static_cast<int>(stats_.shard_listeners.size()) < shards) {
     stats_.shard_listeners.resize(static_cast<std::size_t>(shards), 0);
   }
-  pool_->Run(static_cast<std::size_t>(shards), [&](std::size_t k) {
-    RoundScratch& s = scratch_[k];
-    s.pending.clear();
-    const std::size_t lo = n_listen * k / static_cast<std::size_t>(shards);
-    const std::size_t hi =
-        n_listen * (k + 1) / static_cast<std::size_t>(shards);
-    for (std::size_t ord = lo; ord < hi; ++ord) {
-      if (auto r = ResolveExact(listeners[ord], transmitters)) {
-        s.pending.emplace_back(static_cast<std::uint32_t>(ord), *r);
-      }
-    }
-  });
+  stats_.steal_count +=
+      pool_->Run(static_cast<std::size_t>(shards), [&](std::size_t k) {
+        RoundScratch& s = scratch_[k];
+        s.pending.clear();
+        const std::size_t lo = n_listen * k / static_cast<std::size_t>(shards);
+        const std::size_t hi =
+            n_listen * (k + 1) / static_cast<std::size_t>(shards);
+        for (std::size_t ord = lo; ord < hi; ++ord) {
+          if (auto r = ResolveExact(listeners[ord], transmitters)) {
+            s.pending.emplace_back(static_cast<std::uint32_t>(ord), *r);
+          }
+        }
+      });
   for (int k = 0; k < shards; ++k) {
     const std::size_t lo =
         n_listen * static_cast<std::size_t>(k) / static_cast<std::size_t>(shards);
@@ -354,36 +565,9 @@ void Engine::StepExact(std::span<const std::size_t> transmitters,
   MergeShards(shards, out);
 }
 
-void Engine::BuildTxIndex(std::span<const std::size_t> transmitters) const {
-  const Network& net = *net_;
-  const SpatialGrid& grid = *grid_;
-  // Counting sort into the CSR scratch; O(tiles + |T|).
-  std::fill(tx_start_.begin(), tx_start_.end(), 0);
-  for (const std::size_t v : transmitters) {
-    is_tx_[v] = 1;
-    ++tx_start_[static_cast<std::size_t>(grid.TileOfPoint(v)) + 1];
-  }
-  occupied_tx_.clear();
-  for (std::size_t t = 0; t + 1 < tx_start_.size(); ++t) {
-    if (tx_start_[t + 1] > 0) occupied_tx_.push_back(static_cast<int>(t));
-    tx_start_[t + 1] += tx_start_[t];
-  }
-  tx_members_.resize(transmitters.size());
-  tx_sx_.resize(transmitters.size());
-  tx_sy_.resize(transmitters.size());
-  tx_fill_.assign(tx_start_.begin(), tx_start_.end() - 1);
-  for (const std::size_t v : transmitters) {
-    const std::size_t slot =
-        tx_fill_[static_cast<std::size_t>(grid.TileOfPoint(v))]++;
-    tx_members_[slot] = v;
-    const Vec2 p = net.position(v);
-    tx_sx_[slot] = p.x;
-    tx_sy_[slot] = p.y;
-  }
-}
-
 void Engine::ResolveFallbacksBlocked(
-    std::span<const std::size_t> transmitters, RoundScratch& s) const {
+    const RoundPrologue& P, std::span<const std::size_t> transmitters,
+    RoundScratch& s) const {
   const Network& net = *net_;
   const PathLossModel& plm = *pure_path_loss_;
   const double beta = net.params().beta;
@@ -412,13 +596,13 @@ void Engine::ResolveFallbacksBlocked(
     {
       std::uint32_t c = s.tile_close_begin[tile];
       const std::uint32_t c_end = s.tile_close_end[tile];
-      for (const int b : occupied_tx_) {
+      for (const int b : P.occupied_tx) {
         if (c < c_end && s.close_pool[c] == b) {
           ++c;
           continue;
         }
-        const std::size_t mb = tx_start_[static_cast<std::size_t>(b)];
-        const std::size_t me = tx_start_[static_cast<std::size_t>(b) + 1];
+        const std::size_t mb = P.tx_start[static_cast<std::size_t>(b)];
+        const std::size_t me = P.tx_start[static_cast<std::size_t>(b) + 1];
         if (!s.far_ranges.empty() && s.far_ranges.back().second == mb) {
           s.far_ranges.back().second = me;
         } else {
@@ -444,25 +628,25 @@ void Engine::ResolveFallbacksBlocked(
       if (plm.alpha_is_three()) {
 #ifdef DCC_X86_DISPATCH
         if (HasAvx512()) {
-          FarSweepAlpha3Avx512(tx_sx_.data(), tx_sy_.data(),
+          FarSweepAlpha3Avx512(P.tx_sx.data(), P.tx_sy.data(),
                                s.far_ranges.data(), s.far_ranges.size(),
                                plm.power(), lx, ly, total, far_best,
                                far_best_v);
         } else {
-          FarSweepAlpha3(tx_sx_.data(), tx_sy_.data(), s.far_ranges.data(),
+          FarSweepAlpha3(P.tx_sx.data(), P.tx_sy.data(), s.far_ranges.data(),
                          s.far_ranges.size(), plm.power(), lx, ly, total,
                          far_best, far_best_v);
         }
 #else
-        FarSweepAlpha3(tx_sx_.data(), tx_sy_.data(), s.far_ranges.data(),
+        FarSweepAlpha3(P.tx_sx.data(), P.tx_sy.data(), s.far_ranges.data(),
                        s.far_ranges.size(), plm.power(), lx, ly, total,
                        far_best, far_best_v);
 #endif
       } else {
         for (const auto& [mb, me] : s.far_ranges) {
           for (std::size_t t = mb; t < me; ++t) {
-            const double vx = tx_sx_[t];
-            const double vy = tx_sy_[t];
+            const double vx = P.tx_sx[t];
+            const double vy = P.tx_sy[t];
             for (std::size_t j = 0; j < kChunk; ++j) {
               const double dx = vx - lx[j];
               const double dy = vy - ly[j];
@@ -483,7 +667,7 @@ void Engine::ResolveFallbacksBlocked(
         std::size_t best_v = r.close_best_v;
         if (far_best[j] > best) {
           best = far_best[j];
-          best_v = tx_members_[far_best_v[j]];
+          best_v = P.tx_members[far_best_v[j]];
         }
         const double sinr = best / (noise + all - best);
         if (std::abs(sinr - beta) <= beta * kThresholdRecheck) {
@@ -501,7 +685,8 @@ void Engine::ResolveFallbacksBlocked(
   }
 }
 
-void Engine::StepGridRange(std::span<const std::size_t> transmitters,
+void Engine::StepGridRange(const RoundPrologue& P,
+                           std::span<const std::size_t> transmitters,
                            std::span<const std::size_t> listeners,
                            bool all_listeners,
                            std::span<const std::uint32_t> ordinals,
@@ -539,7 +724,7 @@ void Engine::StepGridRange(std::span<const std::size_t> transmitters,
     const auto ordinal = all_listeners ? static_cast<std::uint32_t>(k)
                                        : ordinals[k];
     const std::size_t u = listeners[ordinal];
-    DCC_CHECK(!is_tx_[u]);  // a transmitter cannot listen
+    DCC_CHECK(!P.is_tx[u]);  // a transmitter cannot listen
     const Vec2 pu = net.position(u);
     const auto tile_u = static_cast<std::size_t>(grid.TileOfPoint(u));
     const int tile_u_i = static_cast<int>(tile_u);
@@ -550,12 +735,12 @@ void Engine::StepGridRange(std::span<const std::size_t> transmitters,
       double far_lo = 0.0, far_ub = 0.0;
       s.tile_close_begin[tile_u] =
           static_cast<std::uint32_t>(s.close_pool.size());
-      for (const int b : occupied_tx_) {
+      for (const int b : P.occupied_tx) {
         const double d2_lo = grid.TileDistLoSq(tile_u_i, b);
         if (d2_lo > far_sq) {
           const auto cnt = static_cast<double>(
-              tx_start_[static_cast<std::size_t>(b) + 1] -
-              tx_start_[static_cast<std::size_t>(b)]);
+              P.tx_start[static_cast<std::size_t>(b) + 1] -
+              P.tx_start[static_cast<std::size_t>(b)]);
           far_lo += cnt * min_gain_d2(grid.TileDistHiSq(tile_u_i, b));
           far_ub = std::max(far_ub, max_gain_d2(d2_lo));
         } else {
@@ -586,15 +771,15 @@ void Engine::StepGridRange(std::span<const std::size_t> transmitters,
     for (std::uint32_t c = close_begin; c < close_end; ++c) {
       const int b = s.close_pool[c];
       const double d2_lo = grid.DistLoSq(pu, b);
-      const std::size_t mb = tx_start_[static_cast<std::size_t>(b)];
-      const std::size_t me = tx_start_[static_cast<std::size_t>(b) + 1];
+      const std::size_t mb = P.tx_start[static_cast<std::size_t>(b)];
+      const std::size_t me = P.tx_start[static_cast<std::size_t>(b) + 1];
       if (d2_lo <= near_sq) {
         for (std::size_t t = mb; t < me; ++t) {
-          const double g = gain_at(tx_members_[t]);
+          const double g = gain_at(P.tx_members[t]);
           close_sum += g;
           if (g > best) {
             best = g;
-            best_v = tx_members_[t];
+            best_v = P.tx_members[t];
           }
         }
       } else {
@@ -622,13 +807,13 @@ void Engine::StepGridRange(std::span<const std::size_t> transmitters,
     for (std::uint32_t c = close_begin; c < close_end; ++c) {
       const int b = s.close_pool[c];
       if (grid.DistLoSq(pu, b) <= near_sq) continue;  // already exact
-      for (std::size_t t = tx_start_[static_cast<std::size_t>(b)];
-           t < tx_start_[static_cast<std::size_t>(b) + 1]; ++t) {
-        const double g = gain_at(tx_members_[t]);
+      for (std::size_t t = P.tx_start[static_cast<std::size_t>(b)];
+           t < P.tx_start[static_cast<std::size_t>(b) + 1]; ++t) {
+        const double g = gain_at(P.tx_members[t]);
         close_sum += g;
         if (g > best) {
           best = g;
-          best_v = tx_members_[t];
+          best_v = P.tx_members[t];
         }
       }
     }
@@ -650,7 +835,7 @@ void Engine::StepGridRange(std::span<const std::size_t> transmitters,
   }
 
   if (!s.fallback.empty()) {
-    ResolveFallbacksBlocked(transmitters, s);
+    ResolveFallbacksBlocked(P, transmitters, s);
   }
   std::sort(s.pending.begin(), s.pending.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -678,63 +863,20 @@ void Engine::MergeShards(int shards, std::vector<Reception>& out) const {
 void Engine::StepGrid(std::span<const std::size_t> transmitters,
                       std::span<const std::size_t> listeners,
                       std::vector<Reception>& out) const {
-  const SpatialGrid& grid = *grid_;
-  BuildTxIndex(transmitters);
+  // This round's prologue: a validated speculation or a fresh build.
+  RoundPrologue& P = AcquirePrologue(transmitters, listeners);
+  if (P.small_round) ++stats_.parallel_small_rounds;
 
-  const std::size_t n_listen = listeners.size();
-  // As in StepExact: no dispatch under the grain or when this engine is
-  // already running inside a pool fan-out (nested Run would go inline).
-  int shards = 1;
-  if (threads_ > 1 && pool_ != nullptr && !pool_->OnWorkerThread() &&
-      n_listen >=
-          kMinListenersPerShard * static_cast<std::size_t>(threads_)) {
-    shards = threads_;
-  } else if (threads_ > 1) {
-    ++stats_.parallel_small_rounds;
-  }
+  // Launch the *next* round's speculative prologue (if disclosed) before
+  // resolving this one — that ordering is the whole pipeline: the build
+  // ticket is published first, so an idle or early-finishing worker can
+  // execute it while this round's shards (or serial sweep) still run.
+  MaybePrefetchNext();
 
-  if (shards > 1) {
-    // Plan contiguous tile shards balanced by this round's listener
-    // histogram, then bucket listener ordinals by shard (stable, so each
-    // shard sees its listeners in ascending ordinal order — the exact
-    // relative order the serial sweep would process them in).
-    const auto tiles = static_cast<std::size_t>(grid.tile_count());
-    shard_weights_.assign(tiles, 0);
-    listener_shard_.resize(n_listen);
-    for (const std::size_t u : listeners) {
-      ++shard_weights_[static_cast<std::size_t>(grid.TileOfPoint(u))];
-    }
-    plan_.Reset(grid.tile_count(), shards, options_.shard_policy,
-                shard_weights_);
-    shard_ord_start_.assign(static_cast<std::size_t>(shards) + 1, 0);
-    for (std::size_t ord = 0; ord < n_listen; ++ord) {
-      const auto k = static_cast<std::uint32_t>(
-          plan_.ShardOfTile(grid.TileOfPoint(listeners[ord])));
-      listener_shard_[ord] = k;
-      ++shard_ord_start_[k + 1];
-    }
-    for (std::size_t k = 1; k < shard_ord_start_.size(); ++k) {
-      shard_ord_start_[k] += shard_ord_start_[k - 1];
-    }
-    // A plan below 2 non-empty shards cannot win (tiles are the
-    // decomposition grain; e.g. a tiny network whose auto cell yields one
-    // tile): the dispatch would pay pool overhead to run serially anyway.
-    int populated = 0;
-    for (int k = 0; k < shards; ++k) {
-      populated += shard_ord_start_[static_cast<std::size_t>(k) + 1] >
-                           shard_ord_start_[static_cast<std::size_t>(k)]
-                       ? 1
-                       : 0;
-    }
-    if (populated < 2) {
-      shards = 1;
-      ++stats_.parallel_small_rounds;
-    }
-  }
-
+  const int shards = P.shards;
   if (shards <= 1) {
     RoundScratch& s = scratch_[0];
-    StepGridRange(transmitters, listeners, /*all_listeners=*/true, {}, s);
+    StepGridRange(P, transmitters, listeners, /*all_listeners=*/true, {}, s);
     stats_.grid_pruned += s.pruned;
     stats_.grid_exact_fallbacks += s.exact_fallbacks;
     s.pruned = 0;
@@ -743,35 +885,29 @@ void Engine::StepGrid(std::span<const std::size_t> transmitters,
       out.push_back(rec);
     }
   } else {
-    shard_ordinals_.resize(n_listen);
-    shard_ord_fill_.assign(shard_ord_start_.begin(),
-                           shard_ord_start_.end() - 1);
-    for (std::size_t ord = 0; ord < n_listen; ++ord) {
-      shard_ordinals_[shard_ord_fill_[listener_shard_[ord]]++] =
-          static_cast<std::uint32_t>(ord);
-    }
-
     EnsureScratch(shards);
     ++stats_.parallel_rounds;
     if (static_cast<int>(stats_.shard_listeners.size()) < shards) {
       stats_.shard_listeners.resize(static_cast<std::size_t>(shards), 0);
     }
-    pool_->Run(static_cast<std::size_t>(shards), [&](std::size_t k) {
-      const std::span<const std::uint32_t> ordinals(
-          shard_ordinals_.data() + shard_ord_start_[k],
-          shard_ord_start_[k + 1] - shard_ord_start_[k]);
-      StepGridRange(transmitters, listeners, /*all_listeners=*/false,
-                    ordinals, scratch_[k]);
-    });
+    stats_.steal_count +=
+        pool_->Run(static_cast<std::size_t>(shards), [&](std::size_t k) {
+          const std::span<const std::uint32_t> ordinals(
+              P.shard_ordinals.data() + P.shard_ord_start[k],
+              P.shard_ord_start[k + 1] - P.shard_ord_start[k]);
+          StepGridRange(P, transmitters, listeners, /*all_listeners=*/false,
+                        ordinals, scratch_[k]);
+        });
     for (int k = 0; k < shards; ++k) {
       stats_.shard_listeners[static_cast<std::size_t>(k)] +=
-          static_cast<std::int64_t>(shard_ord_start_[static_cast<std::size_t>(k) + 1] -
-                                    shard_ord_start_[static_cast<std::size_t>(k)]);
+          static_cast<std::int64_t>(
+              P.shard_ord_start[static_cast<std::size_t>(k) + 1] -
+              P.shard_ord_start[static_cast<std::size_t>(k)]);
     }
     MergeShards(shards, out);
   }
 
-  for (const std::size_t v : transmitters) is_tx_[v] = 0;
+  ClearTxMarks(P, transmitters);
 }
 
 double Engine::Sinr(std::size_t v, std::size_t u,

@@ -36,8 +36,28 @@
 // pure function of (listener, transmitter index), every worker owns its
 // whole scratch, and the merge emits receptions in listener order — so the
 // reception set AND every SINR bit are identical to serial execution at
-// every thread count. Rounds below kMinListenersPerShard * K listeners run
-// serially (the dispatch would cost more than the round).
+// every thread count. Rounds below min_listeners_per_shard * K listeners
+// run serially (the dispatch would cost more than the round). Nested
+// engines (inside a sweep job) dispatch too: the work-stealing pool lets
+// idle workers steal their shard tickets, so the tail of a sweep donates
+// its freed threads to the runs still going.
+//
+// --- Round pipeline (Options::pipeline) ---
+// Everything before the shard fan-out — the transmitter CSR, the shard
+// plan, the ordinal buckets — is a pure function of (transmitter set,
+// listener set, index state) collected in a RoundPrologue value. When a
+// caller can disclose round k+1's sets before round k resolves
+// (SetNextRound; schedule-driven protocols like the TDMA family can, via
+// the Exec lookahead hook), the engine builds round k+1's prologue on a
+// stolen pool worker while round k's shards resolve listeners. The
+// speculative prologue carries the input copies plus the Network and
+// SpatialGrid generation counters it was built against; at the next
+// StepInto it is used only if the disclosed sets match the actual ones
+// bit-for-bit AND no mobility/churn/SyncIndex touched the index since —
+// otherwise it is discarded and the prologue is rebuilt serially. Either
+// way the data entering listener resolution is identical to what the
+// serial build would produce, so pipelining never changes a single output
+// bit; it only moves the prologue off the critical path.
 #pragma once
 
 #include <cstddef>
@@ -48,6 +68,7 @@
 #include <vector>
 
 #include "dcc/common/spatial_grid.h"
+#include "dcc/parallel/round_pipeline.h"
 #include "dcc/parallel/shard_plan.h"
 #include "dcc/sinr/network.h"
 
@@ -72,6 +93,10 @@ class Engine {
     kGrid,   // spatial-index pruning + exact fallback
   };
 
+  // Default listener grain: below this many listeners per shard a round is
+  // not worth dispatching (see Options::min_listeners_per_shard).
+  static constexpr std::size_t kMinListenersPerShard = 2;
+
   struct Options {
     Mode mode = Mode::kAuto;
     // Grid tile side; 0 picks a density-based default (~64 nodes/tile).
@@ -92,11 +117,28 @@ class Engine {
     int threads = 1;
     // How grid-mode shards cut the tile range (see parallel/shard_plan.h).
     parallel::ShardPolicy shard_policy = parallel::ShardPolicy::kBalanced;
+    // Dispatch grain: a round with fewer than min_listeners_per_shard * K
+    // listeners runs serially even when threads > 1 (counted in
+    // Stats::parallel_small_rounds). Must be >= 1; raising it trades
+    // parallel coverage of small rounds for less dispatch overhead —
+    // bench_parallel_rounds --sweep_grain measures the trade.
+    std::size_t min_listeners_per_shard = kMinListenersPerShard;
+    // Overlap the next round's prologue with the current round's shard
+    // execution when the caller discloses it via SetNextRound (grid mode,
+    // threads > 1 only; bit-identical output either way — see the header
+    // comment).
+    bool pipeline = false;
+    // Pool to dispatch on (defaults to WorkerPool::Shared()). Must outlive
+    // the engine; ignored when the resolved thread count is 1. Not in the
+    // flag grammar — tests inject a dedicated pool to pin scheduling
+    // behavior without touching the process-wide one.
+    parallel::WorkerPool* pool = nullptr;
 
     // Options overridden from the environment (benches and dcc_run):
-    //   DCC_ENGINE_MODE    = exact | grid | auto   (default auto)
-    //   DCC_ENGINE_CELL    = <tile side>           (default: engine heuristic)
-    //   DCC_ENGINE_THREADS = <shard count, 0=hw>   (default: 1, serial)
+    //   DCC_ENGINE_MODE      = exact | grid | auto (default auto)
+    //   DCC_ENGINE_CELL      = <tile side>         (default: engine heuristic)
+    //   DCC_ENGINE_THREADS   = <shard count, 0=hw> (default: 1, serial)
+    //   DCC_ENGINE_MIN_SHARD = <listener grain>    (default: 2)
     // Throws InvalidArgument on any unrecognized or malformed value — a
     // typo must not silently fall back to the default strategy.
     static Options FromEnv();
@@ -104,6 +146,10 @@ class Engine {
 
   explicit Engine(const Network& net) : Engine(net, Options{}) {}
   Engine(const Network& net, Options options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   // Computes receptions for one round.
   //  * `transmitters`: indices of nodes transmitting this round.
@@ -120,6 +166,32 @@ class Engine {
   void StepInto(std::span<const std::size_t> transmitters,
                 std::span<const std::size_t> listeners,
                 std::vector<Reception>& out) const;
+
+  // --- Round pipeline (Options::pipeline). ---
+
+  // Discloses the sets the *next* StepInto will be called with, letting the
+  // engine build that round's prologue on an idle pool worker while the
+  // current round resolves. One-shot: consumed by the next StepInto, which
+  // launches the speculative build before fanning out its shards. Copies
+  // the spans (and the transmitters' current positions) immediately, so
+  // the caller's buffers may be reused. A prediction that turns out wrong
+  // costs the wasted build and nothing else — the engine validates the
+  // disclosed sets against the actual ones before use. No-op unless the
+  // pipeline is active (grid mode, threads > 1, Options::pipeline).
+  void SetNextRound(std::span<const std::size_t> transmitters,
+                    std::span<const std::size_t> listeners) const;
+
+  // Drops an un-consumed disclosure (the caller lost the ability to
+  // predict the next round).
+  void ClearNextRound() const;
+
+  // Launches the disclosed round's speculative build immediately (no-op
+  // when nothing was disclosed or a build is already in flight). Steps
+  // launch the build themselves — where it overlaps shard resolution — so
+  // this exists for callers whose current round never reaches the engine
+  // (e.g. a TDMA slot nobody owns): the build then overlaps the caller's
+  // inter-round work instead of the disclosure being lost.
+  void PumpPrefetch() const;
 
   // SINR of transmitter `v` at listener `u` under transmitter set T.
   double Sinr(std::size_t v, std::size_t u,
@@ -139,11 +211,21 @@ class Engine {
   // shared pool's parallelism).
   int threads() const { return threads_; }
 
+  // True when SetNextRound disclosures can actually be consumed (pipeline
+  // option on, grid mode, pool available). Callers check this to skip the
+  // O(n) disclosure assembly when it could never pay off.
+  bool pipeline_enabled() const {
+    return options_.pipeline && mode_ == Mode::kGrid && pool_ != nullptr;
+  }
+
   // --- Dynamic networks: spatial-index maintenance. ---
   // The grid built at construction tracks the network's positions; after
   // the network mutates (Network::SetPositions / churn), reconcile the
   // index before the next Step. All three are O(changed points) bucket
-  // updates — never a rebuild — and no-ops in exact mode.
+  // updates — never a rebuild — and no-ops in exact mode. Each first
+  // completes any in-flight speculative prologue (whose build reads the
+  // index) and bumps the index generation, so the pipeline can never see
+  // or use a half-mutated index.
 
   // Re-tiles every indexed point whose position changed tiles. Call after
   // a bulk Network::SetPositions.
@@ -161,11 +243,6 @@ class Engine {
   // exact mode, where no index exists.
   std::size_t IndexSize() const { return grid_ ? grid_->point_count() : 0; }
 
-  // Below this many listeners per shard a round is not worth dispatching:
-  // it runs serially even when threads() > 1 (counted in
-  // Stats::parallel_small_rounds).
-  static constexpr std::size_t kMinListenersPerShard = 2;
-
   // Cumulative counters (diagnostics for benches).
   struct Stats {
     std::int64_t rounds = 0;
@@ -177,13 +254,25 @@ class Engine {
     std::int64_t grid_exact_fallbacks = 0;
     // Parallel engines only (threads() > 1): rounds dispatched across
     // shards vs rounds run serially because dispatching could not win
-    // (under the listener grain, a tile plan with < 2 populated shards,
-    // or the engine nested inside an occupied pool), and the cumulative
-    // listeners resolved by each shard index — the per-shard load profile
-    // the dcc.parallel.v1 report section exposes.
+    // (under the listener grain, or a tile plan with < 2 populated
+    // shards), and the cumulative listeners resolved by each shard index —
+    // the per-shard load profile the dcc.parallel.v1 report section
+    // exposes.
     std::int64_t parallel_rounds = 0;
     std::int64_t parallel_small_rounds = 0;
     std::vector<std::int64_t> shard_listeners;
+    // Pipeline: rounds whose prologue came from a validated SetNextRound
+    // speculation (deterministic), and the wall time of the speculative
+    // builds that genuinely ran on another thread before they were needed
+    // (timing-dependent — an honest overlap gauge, not a logical count).
+    std::int64_t rounds_pipelined = 0;
+    std::int64_t prologue_overlap_ns = 0;
+    // Work stealing: pool threads that joined this engine's shard fan-outs
+    // by stealing a ticket from another worker's deque. Always 0 for a
+    // top-level engine (its tickets go through the injection queue);
+    // nonzero when a nested engine's shards were picked up by idle sweep
+    // workers.
+    std::int64_t steal_count = 0;
   };
   const Stats& stats() const { return stats_; }
   // Counters accumulate through const Steps (they are diagnostics, not
@@ -199,6 +288,46 @@ class Engine {
     double close_sum = 0.0;   // exact near+mid interference
     double close_best = -1.0; // strongest near/mid gain...
     std::size_t close_best_v = 0;  // ...and its transmitter
+  };
+
+  // Everything a grid round computes before listener resolution, as one
+  // reusable value: the per-round transmitter index (CSR by tile), the
+  // shard plan and ordinal buckets, and the dispatch decision. A pure
+  // function of (transmitters, listeners, index state), built either
+  // serially at the top of StepGrid or speculatively on a pool worker
+  // (Options::pipeline). Two slots double-buffer: the live round reads one
+  // while the speculative build writes the other.
+  struct RoundPrologue {
+    // Speculative builds only: copies of the disclosed inputs (validated
+    // against the actual ones at use) and the transmitters' positions at
+    // disclosure time (the build and the far-sweep kernels read these
+    // instead of the live network, so concurrent epoch-boundary motion
+    // can't tear them). Empty for synchronous builds, which read the
+    // caller's spans directly.
+    std::vector<std::size_t> tx;
+    std::vector<std::size_t> listeners;
+    std::vector<Vec2> tx_pos;
+    std::uint64_t index_gen = 0;  // SpatialGrid::generation() at disclosure
+    std::uint64_t pos_gen = 0;    // Network::generation() at disclosure
+
+    // Transmitter index: CSR over tiles, positions in CSR order.
+    std::vector<char> is_tx;  // per-node transmitter marks (cleared per round)
+    std::vector<std::size_t> tx_start;    // CSR offsets per tile
+    std::vector<std::size_t> tx_fill;     // scatter cursors
+    std::vector<std::size_t> tx_members;  // transmitters by tile
+    std::vector<double> tx_sx;
+    std::vector<double> tx_sy;
+    std::vector<int> occupied_tx;  // tiles with >= 1 transmitter
+
+    // Shard decomposition (only filled when shards > 1).
+    int shards = 1;
+    bool small_round = false;  // threads > 1 but dispatch cannot win
+    parallel::ShardPlan plan;
+    std::vector<std::uint32_t> shard_weights;    // listeners per tile
+    std::vector<std::uint32_t> listener_shard;   // shard per listener
+    std::vector<std::uint32_t> shard_ord_start;  // CSR offsets
+    std::vector<std::uint32_t> shard_ord_fill;
+    std::vector<std::uint32_t> shard_ordinals;   // ordinals by shard
   };
 
   // One worker's whole mutable state for one round: the per-listener-tile
@@ -237,16 +366,38 @@ class Engine {
   // near-threshold recheck; returns the reception if SINR clears beta.
   std::optional<Reception> ResolveExact(
       std::size_t u, std::span<const std::size_t> transmitters) const;
-  // Buckets this round's transmitters into tiles (CSR over tx_start_ /
-  // tx_members_ / tx_sx_ / tx_sy_, occupied tiles ascending). Read-only
-  // for the rest of the round, which is what lets shard workers share it.
-  void BuildTxIndex(std::span<const std::size_t> transmitters) const;
+  // Builds P from (tx, listeners): buckets the transmitters into tiles
+  // (CSR, occupied tiles ascending), decides the dispatch, and — when
+  // dispatching — plans contiguous tile shards balanced by this round's
+  // listener histogram and buckets listener ordinals by shard (stable, so
+  // each shard sees ascending ordinals — the serial processing order).
+  // `tx_pos` supplies transmitter positions (speculative builds pass their
+  // snapshot; nullptr reads the live network). Read-only for the rest of
+  // the round, which is what lets shard workers share it.
+  void BuildPrologue(RoundPrologue& P, std::span<const std::size_t> tx,
+                     std::span<const std::size_t> listeners,
+                     const Vec2* tx_pos) const;
+  // Returns this round's ready prologue: a validated speculative one
+  // (flipping the live slot) or a fresh serial build. Updates the
+  // pipeline/dispatch stats.
+  RoundPrologue& AcquirePrologue(std::span<const std::size_t> tx,
+                                 std::span<const std::size_t> listeners) const;
+  // Launches the speculative build of the disclosed next round into the
+  // spare slot, if there is a disclosure and the pipeline is active.
+  void MaybePrefetchNext() const;
+  // Completes and discards any in-flight speculative build. Must run
+  // before anything the build reads (grid buckets, tile map) mutates.
+  void AbandonPrefetch() const;
+  // Clears P's is_tx marks for the given transmitter set.
+  static void ClearTxMarks(RoundPrologue& P,
+                           std::span<const std::size_t> tx);
   // Resolves listeners into s.pending, tagged with their ordinal and
   // ordinal-sorted: all of them when `all_listeners` is set (a whole
   // serial grid round), else exactly the ones named by `ordinals`
   // (ascending indices into `listeners`, possibly empty — an empty shard
   // is a no-op). The body of one shard worker.
-  void StepGridRange(std::span<const std::size_t> transmitters,
+  void StepGridRange(const RoundPrologue& P,
+                     std::span<const std::size_t> transmitters,
                      std::span<const std::size_t> listeners,
                      bool all_listeners,
                      std::span<const std::uint32_t> ordinals,
@@ -257,7 +408,8 @@ class Engine {
   // engine.cc; one AVX-512 register of lanes). Near-threshold SINRs are
   // re-resolved over `transmitters` with the scalar kernel so the
   // reception set is host-invariant.
-  void ResolveFallbacksBlocked(std::span<const std::size_t> transmitters,
+  void ResolveFallbacksBlocked(const RoundPrologue& P,
+                               std::span<const std::size_t> transmitters,
                                RoundScratch& s) const;
   // Grows scratch_ to `shards` entries with tile arrays sized for grid_.
   void EnsureScratch(int shards) const;
@@ -282,27 +434,25 @@ class Engine {
   // the virtual GainFromDistanceSq per link.
   const PathLossModel* pure_path_loss_ = nullptr;
 
-  // Per-round transmitter index, built serially before listener resolution
-  // and read-only after (see StepInto threading note).
-  mutable std::vector<char> is_tx_;
-  mutable std::vector<std::size_t> tx_start_;    // CSR offsets per tile
-  mutable std::vector<std::size_t> tx_fill_;     // scatter cursors
-  mutable std::vector<std::size_t> tx_members_;  // transmitters by tile
-  // Transmitter positions in tile (CSR) order, parallel to tx_members_.
-  mutable std::vector<double> tx_sx_;
-  mutable std::vector<double> tx_sy_;
-  mutable std::vector<int> occupied_tx_;         // tiles with >= 1 transmitter
+  // Double-buffered round prologues: prologue_[live_slot_] backs the
+  // current round; the other slot is the speculative build target.
+  mutable RoundPrologue prologue_[2];
+  mutable int live_slot_ = 0;
+
+  // --- Pipeline state (Options::pipeline). ---
+  mutable parallel::RoundPlanner planner_;
+  mutable bool prefetch_pending_ = false;
+  // The un-consumed SetNextRound disclosure (swapped into the spare slot
+  // when the speculative build launches).
+  mutable bool next_valid_ = false;
+  mutable std::vector<std::size_t> next_tx_;
+  mutable std::vector<std::size_t> next_listeners_;
+  mutable std::vector<Vec2> next_tx_pos_;
+  mutable std::uint64_t next_index_gen_ = 0;
+  mutable std::uint64_t next_pos_gen_ = 0;
 
   // Per-worker round state; [0] doubles as the serial scratch.
   mutable std::vector<RoundScratch> scratch_;
-
-  // Parallel-round plumbing (built serially each dispatched round).
-  mutable parallel::ShardPlan plan_;
-  mutable std::vector<std::uint32_t> shard_weights_;    // listeners per tile
-  mutable std::vector<std::uint32_t> listener_shard_;   // shard per listener
-  mutable std::vector<std::uint32_t> shard_ord_start_;  // CSR offsets
-  mutable std::vector<std::uint32_t> shard_ord_fill_;
-  mutable std::vector<std::uint32_t> shard_ordinals_;   // ordinals by shard
   mutable std::vector<std::pair<std::uint32_t, Reception>> merge_;
 };
 

@@ -49,6 +49,10 @@ void PrintUsage(std::ostream& os) {
         "                             receptions are bit-identical at every\n"
         "                             T, and parallel runs report a\n"
         "                             dcc.parallel.v1 section\n"
+        "  --pipeline=on|off          overlap each round's prologue build\n"
+        "                             with the previous round's shards for\n"
+        "                             schedule-driven algorithms (grid mode,\n"
+        "                             threads > 1; bit-identical output) (off)\n"
         "\n"
         "driver flags:\n"
         "  --list --json=PATH --quiet --help   (--json=- writes the report\n"
