@@ -1,0 +1,169 @@
+// bench_service_load — the top-line number for the scenario service: what
+// repeat traffic costs against a resident dccd versus first-contact.
+//
+// The bench starts an in-process Service on a private socket and replays
+// a mixed workload (static clustering + local broadcast on a shared
+// topology, a second topology size, and a dynamic mobility spec, crossed
+// with two seeds) through the same loadgen that powers `dcc_load`:
+//
+//   cold   every (spec, seed) pair requested exactly once — each request
+//          pays topology generation + the full run
+//   warm   --requests requests round-robin over the same pairs across
+//          --connections concurrent connections — every request must be a
+//          result-cache hit (zero engine rounds) with byte-identical
+//          report bytes
+//
+// The bench FAILS (exit 1) if warm traffic is not 100% result-cached, if
+// byte-identity breaks, or if the warm speedup falls under --min_speedup
+// (default 10x; 0 disables). --compare_json emits one
+// dcc.bench.service_load.v1 object per phase; CI uploads the lines as
+// BENCH_service.json and scripts/bench_trend.py tracks them in
+// BENCH_trend.json alongside the parallel-rounds points.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "dcc/service/loadgen.h"
+#include "dcc/service/service.h"
+
+namespace {
+
+using dcc::service::LoadResult;
+using dcc::service::LoadSpec;
+
+void EmitLine(bool json, const char* phase, int connections,
+              const LoadResult& r, double hit_rate, double speedup) {
+  if (json) {
+    std::cout << "{\"schema\": \"dcc.bench.service_load.v1\", "
+              << "\"workload\": \"mixed\", \"phase\": \"" << phase
+              << "\", \"connections\": " << connections
+              << ", \"requests\": " << r.requests
+              << ", \"ms_per_request\": " << r.ms_per_request
+              << ", \"rps\": " << r.rps << ", \"result_hit_rate\": "
+              << hit_rate << ", \"speedup\": " << speedup
+              << ", \"consistent\": "
+              << (r.reports_consistent ? "true" : "false") << "}\n";
+  } else {
+    std::printf("%-5s  %5d conns  %6lld req  %10.3f ms/req  %9.1f rps  "
+                "hit %4.0f%%  %6.1fx\n",
+                phase, connections, static_cast<long long>(r.requests),
+                r.ms_per_request, r.rps, hit_rate * 100.0, speedup);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int connections = 4;
+  int requests = 2000;
+  double min_speedup = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare_json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--connections=", 14) == 0) {
+      connections = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = std::atoi(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--min_speedup=", 14) == 0) {
+      min_speedup = std::atof(argv[i] + 14);
+    } else {
+      std::cerr << "usage: bench_service_load [--compare_json] "
+                   "[--connections=N] [--requests=N] [--min_speedup=X]\n";
+      return 2;
+    }
+  }
+  if (connections < 1 || requests < 1) {
+    std::cerr << "bench_service_load: --connections and --requests must be "
+                 ">= 1\n";
+    return 2;
+  }
+
+  dcc::service::Service::Options opts;
+  opts.socket_path =
+      "/tmp/dcc_bench_service." + std::to_string(::getpid()) + ".sock";
+  dcc::service::Service service(opts);
+  service.Start();
+
+  LoadSpec load;
+  load.socket_path = opts.socket_path;
+  load.spec_lines = {
+      // Two algorithms on ONE topology: the second set of cold requests
+      // exercises the topology cache even before anything is warm.
+      "--topology=uniform:n=64,side=4 --algo=clustering --id-space=4096",
+      "--topology=uniform:n=64,side=4 --algo=local_broadcast "
+      "--id-space=4096",
+      "--topology=uniform:n=96,side=5 --algo=clustering --id-space=4096",
+      // A dynamic spec: mobility runs bypass the topology cache but their
+      // reports are content-addressed like any other.
+      "--topology=uniform:n=64,side=4 --algo=clustering --id-space=4096 "
+      "--dynamics=model=waypoint,epochs=2",
+  };
+  load.seeds = {1, 2};
+  load.connections = connections;
+
+  const int pairs =
+      static_cast<int>(load.spec_lines.size() * load.seeds.size());
+
+  if (!json) {
+    std::cout << "service load (in-process dccd, " << pairs
+              << " distinct (spec, seed) pairs)\n";
+  }
+
+  // Cold: each pair exactly once; round-robin assignment covers the
+  // workload with no repeats.
+  load.requests = pairs;
+  const LoadResult cold = dcc::service::RunLoad(load);
+  const double cold_hits =
+      cold.requests > 0 ? static_cast<double>(cold.result_cached) /
+                              static_cast<double>(cold.requests)
+                        : 0.0;
+  EmitLine(json, "cold", connections, cold, cold_hits, 1.0);
+
+  // Warm: the same workload under real repetition.
+  load.requests = requests;
+  const LoadResult warm = dcc::service::RunLoad(load);
+  const double warm_hits =
+      warm.requests > 0 ? static_cast<double>(warm.result_cached) /
+                              static_cast<double>(warm.requests)
+                        : 0.0;
+  const double speedup = warm.ms_per_request > 0.0
+                             ? cold.ms_per_request / warm.ms_per_request
+                             : 0.0;
+  EmitLine(json, "warm", connections, warm, warm_hits, speedup);
+
+  service.Drain();
+
+  int bad = 0;
+  if (cold.errors > 0 || warm.errors > 0) {
+    std::cerr << "bench_service_load: " << (cold.errors + warm.errors)
+              << " request(s) failed: " << cold.first_error
+              << warm.first_error << '\n';
+    bad = 1;
+  }
+  if (cold.result_cached != 0) {
+    std::cerr << "bench_service_load: cold phase saw " << cold.result_cached
+              << " result-cache hits; pairs are not distinct\n";
+    bad = 1;
+  }
+  if (warm.result_cached != warm.requests) {
+    std::cerr << "bench_service_load: warm phase was not fully cached ("
+              << warm.result_cached << "/" << warm.requests
+              << " result hits)\n";
+    bad = 1;
+  }
+  if (!cold.reports_consistent || !warm.reports_consistent) {
+    std::cerr << "bench_service_load: report bytes diverged for a repeated "
+                 "(spec, seed) pair\n";
+    bad = 1;
+  }
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::cerr << "bench_service_load: warm speedup " << speedup
+              << "x under the " << min_speedup << "x floor\n";
+    bad = 1;
+  }
+  return bad;
+}

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Tracked performance trend for bench_parallel_rounds.
+"""Tracked performance trend for the repo's top-line benches.
 
 BENCH_trend.json (at the repo root, committed) holds one entry per
-recorded run: a timestamp, the host parallelism, and the key
-dcc.bench.parallel_rounds.v1 config points. This script maintains it:
+recorded run: a timestamp, the host parallelism, and the key config
+points of every tracked bench schema. This script maintains it:
 
   append   read bench JSON lines on stdin (bench_parallel_rounds
-           --compare_json) and append one trend entry
+           --compare_json and/or bench_service_load --compare_json;
+           concatenating both streams records one combined entry) and
+           append one trend entry
   check    read bench JSON lines on stdin and compare against the last
            committed entry: exit 1 if any matching config slowed down by
            more than --threshold (default 15%); configs under --min-ms
@@ -14,11 +16,19 @@ dcc.bench.parallel_rounds.v1 config points. This script maintains it:
   delta    same comparison, but emit a markdown table (for
            $GITHUB_STEP_SUMMARY) and always exit 0
 
-Points are matched on (n, regime, threads, pipeline, min_shard). Configs
-present in one side only produce a warning, never a failure — the ladder
-legitimately varies with host core count. The regression gate can be
-skipped for a known-slow commit with `[bench-skip]` in the commit message
-(the CI job checks the tag, not this script).
+Tracked schemas and their identity/value fields:
+
+  dcc.bench.parallel_rounds.v1   keyed on (n, regime, threads, pipeline,
+                                 min_shard), value ms_per_round
+  dcc.bench.service_load.v1      keyed on (workload, phase, connections),
+                                 value ms_per_request
+
+Points are matched on (schema, key fields). Configs present in one side
+only produce a warning, never a failure — the thread ladder legitimately
+varies with host core count, and a new bench's first run has no baseline.
+The regression gate can be skipped for a known-slow commit with
+`[bench-skip]` in the commit message (the CI job checks the tag, not this
+script).
 """
 
 import argparse
@@ -27,10 +37,33 @@ import sys
 import time
 from pathlib import Path
 
-KEY_FIELDS = ("n", "regime", "threads", "pipeline", "min_shard")
-# The acceptance-relevant configs a trend entry records; everything else
-# in the bench output is transient diagnostics.
-KEEP_REGIMES = {"dense", "sparse", "dynamic"}
+SCHEMAS = {
+    "dcc.bench.parallel_rounds.v1": {
+        "key_fields": ("n", "regime", "threads", "pipeline", "min_shard"),
+        "value_field": "ms_per_round",
+        # The acceptance-relevant configs a trend entry records; everything
+        # else in the bench output is transient diagnostics.
+        "keep": lambda obj: obj.get("regime") in {"dense", "sparse",
+                                                  "dynamic"},
+    },
+    "dcc.bench.service_load.v1": {
+        "key_fields": ("workload", "phase", "connections"),
+        "value_field": "ms_per_request",
+        "keep": lambda obj: True,
+    },
+}
+
+
+def point_key(obj):
+    """(schema, field values...) for a bench point, or None if untracked."""
+    cfg = SCHEMAS.get(obj.get("schema"))
+    if cfg is None or not cfg["keep"](obj):
+        return None
+    return (obj["schema"],) + tuple(obj.get(f) for f in cfg["key_fields"])
+
+
+def point_value(obj):
+    return obj[SCHEMAS[obj["schema"]]["value_field"]]
 
 
 def read_points(stream):
@@ -41,12 +74,9 @@ def read_points(stream):
         if not line or not line.startswith("{"):
             continue
         obj = json.loads(line)
-        if obj.get("schema") != "dcc.bench.parallel_rounds.v1":
-            continue
-        if obj.get("regime") not in KEEP_REGIMES:
-            continue
-        key = tuple(obj.get(f) for f in KEY_FIELDS)
-        points[key] = obj
+        key = point_key(obj)
+        if key is not None:
+            points[key] = obj
     return points
 
 
@@ -61,9 +91,15 @@ def load_trend(path):
 
 
 def fmt_key(key):
-    n, regime, threads, pipeline, min_shard = key
-    pipe = "on" if pipeline else "off"
-    return f"n={n} {regime} t={threads} pipe={pipe} grain={min_shard}"
+    schema = key[0]
+    if schema == "dcc.bench.parallel_rounds.v1":
+        n, regime, threads, pipeline, min_shard = key[1:]
+        pipe = "on" if pipeline else "off"
+        return f"n={n} {regime} t={threads} pipe={pipe} grain={min_shard}"
+    if schema == "dcc.bench.service_load.v1":
+        workload, phase, connections = key[1:]
+        return f"service {workload} {phase} c={connections}"
+    return " ".join(str(k) for k in key)
 
 
 def cmd_append(args, points):
@@ -93,8 +129,11 @@ def compare(args, points):
         print("bench_trend: no committed trend entry yet — nothing to "
               "compare against", file=sys.stderr)
         return [], []
-    base = {tuple(p.get(f) for f in KEY_FIELDS): p
-            for p in trend[-1]["points"]}
+    base = {}
+    for p in trend[-1]["points"]:
+        key = point_key(p)
+        if key is not None:
+            base[key] = p
     rows, regressions = [], []
     for key in sorted(set(base) | set(points), key=str):
         b, p = base.get(key), points.get(key)
@@ -103,7 +142,7 @@ def compare(args, points):
             print(f"bench_trend: warning: {fmt_key(key)} only in {side}",
                   file=sys.stderr)
             continue
-        base_ms, new_ms = b["ms_per_round"], p["ms_per_round"]
+        base_ms, new_ms = point_value(b), point_value(p)
         if base_ms < args.min_ms or new_ms < args.min_ms:
             rows.append((key, base_ms, new_ms, None))  # noise floor
             continue
@@ -120,7 +159,7 @@ def cmd_check(args, points):
         return 0
     for key, base_ms, new_ms, ratio in regressions:
         print(f"bench_trend: REGRESSION {fmt_key(key)}: "
-              f"{base_ms:.3f} -> {new_ms:.3f} ms/round "
+              f"{base_ms:.3f} -> {new_ms:.3f} ms "
               f"({(ratio - 1) * 100:+.1f}%)", file=sys.stderr)
     if regressions:
         print(f"bench_trend: {len(regressions)} config(s) regressed more "
@@ -162,7 +201,7 @@ def main():
 
     points = read_points(sys.stdin)
     if not points and args.command != "delta":
-        print("bench_trend: no dcc.bench.parallel_rounds.v1 lines on stdin",
+        print("bench_trend: no tracked bench JSON lines on stdin",
               file=sys.stderr)
         return 2
     return {"append": cmd_append, "check": cmd_check,

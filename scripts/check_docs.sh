@@ -8,13 +8,15 @@
 #      `tools/...`, `scripts/...` path mentioned in those docs must exist
 #      ({a,b} brace groups are expanded), so the paper map and
 #      architecture doc cannot point at renamed files.
-#   3. Flag drift — every --flag `dcc_run --help` advertises must be
-#      documented in README.md, and every --flag README documents must be
-#      accepted by --help.
+#   3. Flag drift — every --flag the CLI binaries (dcc_run, dccd,
+#      dcc_load) advertise in --help must be documented in README.md, and
+#      every --flag README's tables document must be accepted by at least
+#      one of the three.
 #   4. Registry drift — every mobility model `dcc_run --list` reports,
 #      and every dynamics driver key it names, must appear in README.md.
 #
-# Usage: scripts/check_docs.sh [path-to-dcc_run]   (default: build/dcc_run)
+# Usage: scripts/check_docs.sh [path-to-dcc_run]   (default: build/dcc_run;
+# dccd and dcc_load are expected next to it)
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -79,13 +81,30 @@ if [ ! -x "$BIN" ]; then
   err "dcc_run binary not found at $BIN (build first, or pass its path)"
   exit 1
 fi
+BINDIR="$(dirname "$BIN")"
 
 help_out="$("$BIN" --help)" || { err "dcc_run --help failed"; exit 1; }
 list_out="$("$BIN" --list)" || { err "dcc_run --list failed"; exit 1; }
 
+# Every CLI's advertised flags must be documented; README's flag-table
+# rows ("| `--flag...`") must be advertised by at least one CLI. Prose
+# also mentions cmake/ctest flags, which is why only table rows count.
+all_help="$help_out"
+for tool in dccd dcc_load; do
+  if [ ! -x "$BINDIR/$tool" ]; then
+    err "$tool binary not found next to $BIN (build first)"
+    continue
+  fi
+  tool_help="$("$BINDIR/$tool" --help)" || { err "$tool --help failed"; continue; }
+  all_help="$all_help
+$tool_help"
+  while IFS= read -r flag; do
+    grep -qF -- "$flag" "$ROOT/README.md" ||
+      err "README.md does not document $flag (advertised by $tool --help)"
+  done < <(grep -oE -- '--[a-z][a-z-]*' <<< "$tool_help" | sort -u)
+done
+
 help_flags="$(grep -oE -- '--[a-z][a-z-]*' <<< "$help_out" | sort -u)"
-# README's spec-grammar table rows only ("| `--flag...`"): prose also
-# mentions cmake/ctest flags that are not dcc_run's.
 readme_flags="$(grep -E '^\| *`--' "$ROOT/README.md" |
                 grep -oE -- '--[a-z][a-z-]*' | sort -u)"
 
@@ -95,8 +114,8 @@ while IFS= read -r flag; do
 done <<< "$help_flags"
 
 while IFS= read -r flag; do
-  grep -qF -- "$flag" <<< "$help_out" ||
-    err "README.md documents $flag which dcc_run --help does not advertise"
+  grep -qF -- "$flag" <<< "$all_help" ||
+    err "README.md documents $flag which no CLI --help advertises"
 done <<< "$readme_flags"
 
 # --- 4. --list registries vs README -----------------------------------------

@@ -1,9 +1,16 @@
-// Minimal JSON *emission* helpers — enough for schema-stable reports
-// without pulling a dependency. (There is deliberately no parser here; the
-// scenario layer round-trips specs through their flag/string form instead.)
+// Minimal JSON support: emission helpers for schema-stable reports, and a
+// small recursive-descent *parser* for the service wire protocol
+// (src/dcc/service) — requests and responses are JSON frames, so both ends
+// need to read values back. The parser accepts strict JSON (RFC 8259): no
+// comments, no trailing commas, doubles for every number (wire ids and
+// seeds stay under 2^53).
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace dcc {
 
@@ -14,5 +21,46 @@ std::string JsonQuote(const std::string& s);
 // double (so emitted metrics are exact and stable across runs). Non-finite
 // values — which JSON cannot carry — become null.
 std::string JsonNumber(double v);
+
+// One parsed JSON value. Object members keep no insertion order (lookup
+// only); arrays keep element order. Accessors throw InvalidArgument on a
+// kind mismatch so protocol handlers fail loudly on malformed peers.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses exactly one JSON document (trailing whitespace allowed, trailing
+  // garbage rejected). Throws InvalidArgument on malformed input or nesting
+  // deeper than 64 levels.
+  static JsonValue Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool GetBool() const;
+  double GetNumber() const;
+  const std::string& GetString() const;
+  const std::vector<JsonValue>& GetArray() const;
+
+  // Object member lookup; nullptr when absent (or when this is not an
+  // object — absent and wrong-shape read the same to a protocol handler).
+  const JsonValue* Find(const std::string& key) const;
+
+  // Convenience typed member reads with fallbacks for optional fields.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+
+  friend class JsonParser;
+};
 
 }  // namespace dcc

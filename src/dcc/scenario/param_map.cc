@@ -1,5 +1,7 @@
 #include "dcc/scenario/param_map.h"
 
+#include <algorithm>
+
 #include "dcc/common/parse.h"
 #include "dcc/common/types.h"
 
@@ -83,6 +85,14 @@ void ParamMap::CheckAllConsumed(const std::string& context) const {
   if (!leftover.empty()) {
     throw InvalidArgument(context + ": unknown parameter(s): " + leftover);
   }
+}
+
+ParamMap ParamMap::Sorted() const {
+  ParamMap out;
+  out.entries_ = entries_;
+  std::sort(out.entries_.begin(), out.entries_.end());
+  out.consumed_.assign(out.entries_.size(), 0);
+  return out;
 }
 
 std::string ParamMap::ToString() const {

@@ -38,6 +38,10 @@ class ParamMap {
   // Canonical "k=v,k=v" in insertion order; "" when empty.
   std::string ToString() const;
 
+  // Copy with entries sorted by key — the order-invariant view behind
+  // ScenarioSpec::CanonicalKey. Consumption marks are not carried over.
+  ParamMap Sorted() const;
+
   bool empty() const { return entries_.empty(); }
   const std::vector<std::pair<std::string, std::string>>& entries() const {
     return entries_;

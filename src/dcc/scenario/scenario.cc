@@ -41,24 +41,43 @@ std::vector<std::size_t> PickFaultNodes(std::size_t n, int count,
 
 }  // namespace
 
+sinr::Network BuildScenarioNetwork(const ScenarioSpec& spec,
+                                   std::uint64_t seed) {
+  spec.sinr.Validate();
+  const TopologyFn& topo = Topologies().Get(spec.topology);
+  // Local ParamMap copies: consumption marks are per-run state and the
+  // same spec may be running on several sweep threads.
+  ParamMap topo_params = spec.topology_params;
+  auto pts = topo(topo_params, spec.sinr, seed);
+  topo_params.CheckAllConsumed("topology '" + spec.topology + "'");
+  return workload::MakeNetwork(std::move(pts), spec.sinr,
+                               spec.id_seed.value_or(seed + 1),
+                               spec.shadowing);
+}
+
 RunReport RunScenario(const ScenarioSpec& spec, std::uint64_t seed) {
   if (IsDynamic(spec)) return RunDynamicScenario(spec, seed);
+  try {
+    const sinr::Network net = BuildScenarioNetwork(spec, seed);
+    return RunScenarioOnNetwork(spec, seed, net);
+  } catch (const std::exception& e) {
+    RunReport rep;
+    rep.topology = spec.topology;
+    rep.algo = spec.algo;
+    rep.seed = seed;
+    rep.ok = false;
+    rep.error = e.what();
+    return rep;
+  }
+}
+
+RunReport RunScenarioOnNetwork(const ScenarioSpec& spec, std::uint64_t seed,
+                               const sinr::Network& net) {
   RunReport rep;
   rep.topology = spec.topology;
   rep.algo = spec.algo;
   rep.seed = seed;
   try {
-    spec.sinr.Validate();
-    const TopologyFn& topo = Topologies().Get(spec.topology);
-    // Local ParamMap copies: consumption marks are per-run state and the
-    // same spec may be running on several sweep threads.
-    ParamMap topo_params = spec.topology_params;
-    auto pts = topo(topo_params, spec.sinr, seed);
-    topo_params.CheckAllConsumed("topology '" + spec.topology + "'");
-
-    const sinr::Network net =
-        workload::MakeNetwork(std::move(pts), spec.sinr,
-                              spec.id_seed.value_or(seed + 1), spec.shadowing);
     sim::Exec ex(net, spec.engine);
 
     std::vector<std::size_t> members(net.size());

@@ -18,6 +18,20 @@ namespace dcc::scenario {
 // ok = false and the error message.
 RunReport RunScenario(const ScenarioSpec& spec, std::uint64_t seed);
 
+// The two halves of a static RunScenario, split so the service layer can
+// reuse one generated network across every request that shares it
+// (src/dcc/service): BuildScenarioNetwork resolves the topology and builds
+// the network — the expensive, algorithm-independent prefix (it throws on
+// bad specs); RunScenarioOnNetwork runs the algorithm half against a
+// prebuilt network it never mutates, so concurrent runs may share one
+// instance (it never throws — failures land in the report). The network
+// must come from BuildScenarioNetwork on a spec whose topology/sinr/
+// shadowing/id_seed coordinates match, under the same seed.
+sinr::Network BuildScenarioNetwork(const ScenarioSpec& spec,
+                                   std::uint64_t seed);
+RunReport RunScenarioOnNetwork(const ScenarioSpec& spec, std::uint64_t seed,
+                               const sinr::Network& net);
+
 // Runs the spec over its sweep grid — spec.seeds, crossed with
 // spec.sweep_values over topology parameter spec.sweep_key when set — on
 // the process-wide parallel::WorkerPool, capped at spec.threads workers

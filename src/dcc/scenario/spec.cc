@@ -257,4 +257,12 @@ std::string ScenarioSpec::ToString() const {
   return out;
 }
 
+std::string ScenarioSpec::CanonicalKey() const {
+  ScenarioSpec sorted = *this;
+  sorted.topology_params = topology_params.Sorted();
+  sorted.algo_params = algo_params.Sorted();
+  sorted.dynamics = dynamics.Sorted();
+  return sorted.ToString();
+}
+
 }  // namespace dcc::scenario

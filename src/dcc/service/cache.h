@@ -1,0 +1,126 @@
+// Content-addressed caches for the scenario service.
+//
+// A ContentCache maps a canonical content key (ScenarioSpec::CanonicalKey
+// or a topology-coordinate subset of it — see service.h) to an immutable,
+// shared value. Two properties carry the service's repeat-traffic story:
+//
+//  * Single-flight builds: concurrent requests for the same missing key
+//    block on ONE build instead of racing N identical ones — this is how
+//    requests sharing a topology that arrive together get batched onto
+//    one generated network. Waiters count as hits (they were served by
+//    someone else's work). A build that throws wakes the waiters, one of
+//    which becomes the next builder; the thrower sees its own exception.
+//  * LRU bounds: `capacity` ready entries at most. Eviction drops the
+//    cache's reference only — values are shared_ptr<const V>, so runs
+//    holding an evicted network keep it alive until they finish.
+//
+// Values must be immutable once published (the service caches generated
+// sinr::Networks and serialized RunReport strings; both are read-only
+// after construction), which is what makes a cached value safe to hand to
+// any number of concurrent runs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dcc/common/types.h"
+
+namespace dcc::service {
+
+template <typename V>
+class ContentCache {
+ public:
+  explicit ContentCache(std::size_t capacity) : capacity_(capacity) {
+    DCC_REQUIRE(capacity >= 1, "cache: capacity must be >= 1");
+  }
+
+  ContentCache(const ContentCache&) = delete;
+  ContentCache& operator=(const ContentCache&) = delete;
+
+  // Returns the value for `key`, invoking `build` outside the lock when it
+  // is absent. `*hit` reports whether this call was served by the cache
+  // (including waiting on another caller's in-flight build).
+  std::shared_ptr<const V> GetOrBuild(
+      const std::string& key,
+      const std::function<std::shared_ptr<const V>()>& build, bool* hit) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      const auto it = map_.find(key);
+      if (it == map_.end()) break;  // miss: become the builder below
+      Entry& e = it->second;
+      if (e.ready) {
+        lru_.splice(lru_.begin(), lru_, e.lru_it);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        *hit = true;
+        return e.value;
+      }
+      // In flight: wait for the builder, then re-check (the entry may be
+      // ready, or erased if the build threw — in which case we take over).
+      ready_cv_.wait(lock);
+    }
+    map_.emplace(key, Entry{});
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    *hit = false;
+    lock.unlock();
+
+    std::shared_ptr<const V> value;
+    try {
+      value = build();
+    } catch (...) {
+      lock.lock();
+      map_.erase(key);
+      ready_cv_.notify_all();
+      throw;
+    }
+
+    lock.lock();
+    Entry& e = map_.at(key);  // only the builder erases a pending entry
+    e.value = value;
+    e.ready = true;
+    lru_.push_front(key);
+    e.lru_it = lru_.begin();
+    if (lru_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    ready_cv_.notify_all();
+    return value;
+  }
+
+  // Lifetime lookup counters (service stats): hits include single-flight
+  // waiters; misses count builds started (successful or not).
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();  // ready entries only
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const V> value;
+    bool ready = false;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::list<std::string> lru_;  // ready keys, most recently used first
+  std::unordered_map<std::string, Entry> map_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+};
+
+}  // namespace dcc::service

@@ -1,0 +1,136 @@
+#include "dcc/service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "dcc/common/json.h"
+#include "dcc/common/types.h"
+#include "dcc/common/wire.h"
+
+namespace dcc::service {
+
+namespace {
+
+// The response grammar puts "report" last precisely so clients can slice
+// the serialized report out verbatim — byte identity across cache paths
+// is part of the service contract and tests compare these raw bytes.
+constexpr char kReportMarker[] = ", \"report\": ";
+
+}  // namespace
+
+Client::Client(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+Client::~Client() { Close(); }
+
+void Client::Connect() {
+  if (fd_ >= 0) return;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof addr.sun_path) {
+    throw InvalidArgument("client: socket path '" + socket_path_ +
+                          "' exceeds the AF_UNIX limit");
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw wire::WireError(std::string("client: socket: ") +
+                          std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw wire::WireError("client: connect " + socket_path_ + ": " +
+                          std::strerror(err));
+  }
+  fd_ = fd;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Client::Call(const std::string& request) {
+  Connect();
+  std::string response;
+  try {
+    wire::WriteFrame(fd_, request);
+    if (!wire::ReadFrame(fd_, &response)) {
+      throw wire::WireError("client: daemon closed the connection");
+    }
+  } catch (...) {
+    Close();  // the stream is desynced; the next call reconnects
+    throw;
+  }
+  return response;
+}
+
+Client::RunResult Client::DoRun(const std::string& spec_line,
+                                const std::uint64_t* seed) {
+  std::string req = "{\"op\": \"run\", \"id\": " + std::to_string(next_id_++) +
+                    ", \"spec\": " + JsonQuote(spec_line);
+  if (seed != nullptr) req += ", \"seed\": " + std::to_string(*seed);
+  req += '}';
+
+  const std::string response = Call(req);
+  const JsonValue parsed = JsonValue::Parse(response);
+  RunResult out;
+  out.ok = parsed.GetBool("ok", false);
+  if (!out.ok) {
+    out.error = parsed.GetString("error", "unknown error");
+    return out;
+  }
+  out.cached = parsed.GetString("cached", "");
+  const std::size_t pos = response.find(kReportMarker);
+  if (pos == std::string::npos || response.empty() ||
+      response.back() != '}') {
+    throw InvalidArgument("client: malformed run response: " + response);
+  }
+  const std::size_t begin = pos + sizeof kReportMarker - 1;
+  out.report = response.substr(begin, response.size() - begin - 1);
+  return out;
+}
+
+Client::RunResult Client::Run(const std::string& spec_line) {
+  return DoRun(spec_line, nullptr);
+}
+
+Client::RunResult Client::Run(const std::string& spec_line,
+                              std::uint64_t seed) {
+  return DoRun(spec_line, &seed);
+}
+
+std::string Client::StatsJson() {
+  const std::string response = Call(
+      "{\"op\": \"stats\", \"id\": " + std::to_string(next_id_++) + '}');
+  const JsonValue parsed = JsonValue::Parse(response);
+  if (!parsed.GetBool("ok", false)) {
+    throw InvalidArgument("client: stats request failed: " + response);
+  }
+  constexpr char kStatsMarker[] = ", \"stats\": ";
+  const std::size_t pos = response.find(kStatsMarker);
+  if (pos == std::string::npos || response.back() != '}') {
+    throw InvalidArgument("client: malformed stats response: " + response);
+  }
+  const std::size_t begin = pos + sizeof kStatsMarker - 1;
+  return response.substr(begin, response.size() - begin - 1);
+}
+
+void Client::Ping() {
+  const std::string response =
+      Call("{\"op\": \"ping\", \"id\": " + std::to_string(next_id_++) + '}');
+  const JsonValue parsed = JsonValue::Parse(response);
+  if (!parsed.GetBool("ok", false)) {
+    throw InvalidArgument("client: ping failed: " + response);
+  }
+}
+
+}  // namespace dcc::service

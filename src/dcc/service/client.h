@@ -1,0 +1,56 @@
+// Client side of the dccd protocol (see service.h for the wire contract).
+//
+// A Client owns one connection; it is NOT thread-safe — the protocol
+// answers frames in order per connection, so concurrency means one Client
+// per thread (that is exactly how the load generator and the concurrency
+// tests drive the service). Calls throw wire::WireError if the daemon
+// goes away mid-call and InvalidArgument on malformed responses;
+// request-level failures come back as RunResult::ok = false.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcc::service {
+
+class Client {
+ public:
+  // Remembers the path; call Connect() (or let the first call do it).
+  explicit Client(std::string socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void Connect();  // idempotent; throws wire::WireError on failure
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  struct RunResult {
+    bool ok = false;       // a report was produced (it may itself be ok=false)
+    std::string cached;    // "result" | "topology" | "none" (ok only)
+    std::string report;    // raw serialized dcc.run_report.v1 bytes (ok only)
+    std::string error;     // daemon's message (ok == false only)
+  };
+
+  // One run request. With `seed`, pins the seed; otherwise the spec's
+  // first seed applies.
+  RunResult Run(const std::string& spec_line);
+  RunResult Run(const std::string& spec_line, std::uint64_t seed);
+
+  // Raw dcc.service.v1 stats object.
+  std::string StatsJson();
+
+  // Round-trip liveness probe; throws if the daemon misbehaves.
+  void Ping();
+
+ private:
+  std::string Call(const std::string& request);
+  RunResult DoRun(const std::string& spec_line, const std::uint64_t* seed);
+
+  std::string socket_path_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace dcc::service

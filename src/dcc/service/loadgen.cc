@@ -1,0 +1,93 @@
+#include "dcc/service/loadgen.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "dcc/common/types.h"
+#include "dcc/service/client.h"
+
+namespace dcc::service {
+
+LoadResult RunLoad(const LoadSpec& spec) {
+  DCC_REQUIRE(!spec.socket_path.empty(), "loadgen: socket_path required");
+  DCC_REQUIRE(!spec.spec_lines.empty(), "loadgen: at least one spec line");
+  DCC_REQUIRE(!spec.seeds.empty(), "loadgen: at least one seed");
+  DCC_REQUIRE(spec.connections >= 1, "loadgen: connections must be >= 1");
+  DCC_REQUIRE(spec.requests >= 1, "loadgen: requests must be >= 1");
+
+  struct Pair {
+    std::string line;
+    std::uint64_t seed;
+  };
+  std::vector<Pair> pairs;
+  for (const std::string& line : spec.spec_lines) {
+    for (const std::uint64_t seed : spec.seeds) pairs.push_back({line, seed});
+  }
+
+  std::mutex mu;  // guards the tallies and the reference-report map
+  std::unordered_map<std::string, std::string> reference;  // pair key -> bytes
+  LoadResult out;
+  std::atomic<int> next_request{0};
+  std::exception_ptr failure;
+
+  const auto worker = [&] {
+    Client client(spec.socket_path);
+    try {
+      for (;;) {
+        const int idx = next_request.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= spec.requests) break;
+        const Pair& p = pairs[static_cast<std::size_t>(idx) % pairs.size()];
+        const Client::RunResult r = client.Run(p.line, p.seed);
+        std::lock_guard<std::mutex> lock(mu);
+        ++out.requests;
+        if (!r.ok) {
+          ++out.errors;
+          if (out.first_error.empty()) out.first_error = r.error;
+          continue;
+        }
+        if (r.cached == "result") {
+          ++out.result_cached;
+        } else if (r.cached == "topology") {
+          ++out.topology_cached;
+        } else {
+          ++out.uncached;
+        }
+        const std::string key = p.line + '\n' + std::to_string(p.seed);
+        const auto [it, inserted] = reference.emplace(key, r.report);
+        if (!inserted && it->second != r.report) {
+          out.reports_consistent = false;
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!failure) failure = std::current_exception();
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(spec.connections));
+  for (int c = 0; c < spec.connections; ++c) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (failure) std::rethrow_exception(failure);
+
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (out.requests > 0) {
+    // Per-request service time as seen by one connection: wall time is
+    // shared by `connections` concurrent streams.
+    out.ms_per_request = out.wall_ms * static_cast<double>(spec.connections) /
+                         static_cast<double>(out.requests);
+    out.rps = static_cast<double>(out.requests) / (out.wall_ms / 1000.0);
+  }
+  return out;
+}
+
+}  // namespace dcc::service

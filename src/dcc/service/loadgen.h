@@ -1,0 +1,43 @@
+// The service load generator: N client connections replaying a workload
+// of (spec, seed) pairs against a running dccd, used by the `dcc_load`
+// tool and `bench_service_load`. Beyond throughput it checks the
+// service's core promise while driving it: every response for the same
+// (spec, seed) must carry byte-identical report bytes, whatever cache
+// path served it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcc::service {
+
+struct LoadSpec {
+  std::string socket_path;
+  // The workload alphabet: requests cycle through spec_lines x seeds in
+  // round-robin order, interleaved across connections so concurrent
+  // same-key traffic actually happens.
+  std::vector<std::string> spec_lines;
+  std::vector<std::uint64_t> seeds = {1};
+  int connections = 4;
+  int requests = 256;  // total across all connections
+};
+
+struct LoadResult {
+  std::int64_t requests = 0;
+  std::int64_t errors = 0;        // responses with ok = false
+  std::int64_t result_cached = 0;
+  std::int64_t topology_cached = 0;
+  std::int64_t uncached = 0;
+  double wall_ms = 0.0;
+  double ms_per_request = 0.0;    // wall_ms * connections / requests
+  double rps = 0.0;
+  bool reports_consistent = true;  // byte-identity held for every pair
+  std::string first_error;         // first ok=false message, for diagnostics
+};
+
+// Runs the workload; throws on connection/protocol failures (a daemon
+// that answers ok=false is a counted error, not a throw).
+LoadResult RunLoad(const LoadSpec& spec);
+
+}  // namespace dcc::service

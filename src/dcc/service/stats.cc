@@ -1,0 +1,78 @@
+#include "dcc/service/stats.h"
+
+#include <ostream>
+
+#include "dcc/common/json.h"
+
+namespace dcc::service {
+
+void LatencyHistogram::Record(std::int64_t micros) {
+  int bucket = 0;
+  while (bucket + 1 < kBuckets && micros >= (std::int64_t{2} << bucket)) {
+    ++bucket;
+  }
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::QuantileUpperMs(double q) const {
+  std::array<std::int64_t, kBuckets> snap;
+  std::int64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snap[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  const auto rank =
+      static_cast<std::int64_t>(q * static_cast<double>(total) + 0.999999);
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += snap[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      return static_cast<double>(std::int64_t{2} << i) / 1000.0;
+    }
+  }
+  return static_cast<double>(std::int64_t{2} << (kBuckets - 1)) / 1000.0;
+}
+
+std::int64_t LatencyHistogram::count() const {
+  std::int64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+namespace {
+
+double Rate(std::int64_t hits, std::int64_t misses) {
+  const std::int64_t lookups = hits + misses;
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+}  // namespace
+
+void ServiceStats::PrintJson(std::ostream& os) const {
+  os << "{\"schema\": \"dcc.service.v1\", \"uptime_ms\": " << uptime_ms
+     << ", \"connections_active\": " << connections_active
+     << ", \"connections_total\": " << connections_total
+     << ", \"requests\": " << requests << ", \"runs\": " << runs
+     << ", \"errors\": " << errors << ", \"result_hits\": " << result_hits
+     << ", \"result_misses\": " << result_misses
+     << ", \"result_hit_rate\": " << JsonNumber(Rate(result_hits,
+                                                     result_misses))
+     << ", \"topology_hits\": " << topology_hits
+     << ", \"topology_misses\": " << topology_misses
+     << ", \"topology_hit_rate\": " << JsonNumber(Rate(topology_hits,
+                                                       topology_misses))
+     << ", \"queue_depth\": " << queue_depth
+     << ", \"queue_peak\": " << queue_peak
+     << ", \"queue_capacity\": " << queue_capacity
+     << ", \"throughput_rps\": " << JsonNumber(throughput_rps)
+     << ", \"latency_ms_p50\": " << JsonNumber(latency_ms_p50)
+     << ", \"latency_ms_p99\": " << JsonNumber(latency_ms_p99)
+     << ", \"draining\": " << (draining ? "true" : "false") << '}';
+}
+
+}  // namespace dcc::service

@@ -1,0 +1,65 @@
+// The service's observability surface: a lock-free latency histogram fed
+// by every request, and the `dcc.service.v1` stats section the daemon
+// serves for the `stats` op (and prints on clean shutdown). The section
+// layout is pinned byte-for-byte in docs/REPORT_SCHEMA.md by
+// tests/report_schema_test.cc — treat field changes as schema changes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+
+namespace dcc::service {
+
+// Power-of-two-bucketed request latencies: bucket i counts requests in
+// [2^i, 2^(i+1)) microseconds (bucket 0 includes sub-microsecond).
+// Recording is a single relaxed increment, so connection threads never
+// contend; quantiles are read from a snapshot and reported as the upper
+// bound of the covering bucket — coarse (factor-of-two) but stable, which
+// is the right trade for a p99 whose job is trend detection.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(std::int64_t micros);
+
+  // Upper bound, in milliseconds, of the bucket containing quantile `q`
+  // (0 < q <= 1) — 0 when nothing was recorded yet.
+  double QuantileUpperMs(double q) const;
+
+  std::int64_t count() const;
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+};
+
+// One snapshot of the service counters ("dcc.service.v1"). Assembled by
+// Service::Snapshot(); a plain value so tests can pin the JSON layout
+// deterministically.
+struct ServiceStats {
+  std::int64_t uptime_ms = 0;
+  std::int64_t connections_active = 0;
+  std::int64_t connections_total = 0;
+  std::int64_t requests = 0;  // every frame answered (runs + stats + pings)
+  std::int64_t runs = 0;      // run ops that produced a report
+  std::int64_t errors = 0;    // requests answered with ok = false
+  std::int64_t result_hits = 0;
+  std::int64_t result_misses = 0;
+  std::int64_t topology_hits = 0;
+  std::int64_t topology_misses = 0;
+  std::int64_t queue_depth = 0;
+  std::int64_t queue_peak = 0;
+  std::int64_t queue_capacity = 0;
+  double throughput_rps = 0.0;  // requests / uptime
+  double latency_ms_p50 = 0.0;
+  double latency_ms_p99 = 0.0;
+  bool draining = false;
+
+  // {"schema": "dcc.service.v1", ...} — one object, no trailing newline.
+  // Hit rates are emitted as derived fields (0 when a cache was never
+  // consulted).
+  void PrintJson(std::ostream& os) const;
+};
+
+}  // namespace dcc::service

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "dcc/scenario/scenario.h"
+#include "dcc/service/stats.h"
 
 namespace dcc::scenario {
 namespace {
@@ -93,6 +94,33 @@ TEST(ReportSchemaDocTest, ParallelExampleIsCurrent) {
   std::ostringstream out;
   rep.PrintJson(out);
   EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.parallel.v1"), out.str());
+}
+
+TEST(ReportSchemaDocTest, ServiceStatsExampleIsCurrent) {
+  // A synthesized snapshot: live stats carry timing-dependent fields
+  // (uptime, throughput, latencies), so the doc pins fixed values through
+  // the same serializer dccd uses.
+  dcc::service::ServiceStats s;
+  s.uptime_ms = 120000;
+  s.connections_active = 2;
+  s.connections_total = 5;
+  s.requests = 40;
+  s.runs = 32;
+  s.errors = 1;
+  s.result_hits = 24;
+  s.result_misses = 8;
+  s.topology_hits = 6;
+  s.topology_misses = 2;
+  s.queue_depth = 0;
+  s.queue_peak = 3;
+  s.queue_capacity = 64;
+  s.throughput_rps = 0.25;
+  s.latency_ms_p50 = 0.032;
+  s.latency_ms_p99 = 524.288;
+  s.draining = false;
+  std::ostringstream out;
+  s.PrintJson(out);
+  EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.service.v1"), out.str());
 }
 
 TEST(ReportSchemaDocTest, DynamicExampleIsCurrent) {

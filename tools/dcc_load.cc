@@ -1,0 +1,108 @@
+// dcc_load — load generator for a running dccd.
+//
+//   $ dcc_load --socket=/tmp/dccd.sock --connections=4 --requests=512 \
+//       --spec='--topology=uniform:n=256,side=8 --algo=clustering' \
+//       --seeds=1..4
+//
+// Replays the (spec x seed) workload round-robin across N concurrent
+// connections, verifies byte-identical reports per (spec, seed), and
+// prints a one-line JSON summary plus the daemon's dcc.service.v1 stats.
+// Exit 0 iff no request failed and byte-identity held.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dcc/common/json.h"
+#include "dcc/scenario/spec.h"
+#include "dcc/service/client.h"
+#include "dcc/service/loadgen.h"
+
+namespace {
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: dcc_load [flags]\n"
+        "\n"
+        "  --socket=PATH        daemon socket to connect to (/tmp/dccd.sock)\n"
+        "  --spec=LINE          scenario flag line to request; repeatable —\n"
+        "                       the workload cycles through all given specs\n"
+        "  --seeds=A..B|A,B|A   seeds crossed with every spec (1)\n"
+        "  --connections=N      concurrent client connections (4)\n"
+        "  --requests=N         total requests across connections (256)\n"
+        "  --stats              also fetch and print daemon stats after the\n"
+        "                       run (off)\n"
+        "  --help               usage\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dcc::service::LoadSpec load;
+  load.socket_path = "/tmp/dccd.sock";
+  bool want_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--help" || arg == "-h") {
+        PrintUsage(std::cout);
+        return 0;
+      } else if (arg.rfind("--socket=", 0) == 0) {
+        load.socket_path = arg.substr(9);
+      } else if (arg.rfind("--spec=", 0) == 0) {
+        load.spec_lines.push_back(arg.substr(7));
+      } else if (arg.rfind("--seeds=", 0) == 0) {
+        load.seeds = dcc::scenario::ParseSeeds(arg.substr(8));
+      } else if (arg.rfind("--connections=", 0) == 0) {
+        load.connections = std::stoi(arg.substr(14));
+      } else if (arg.rfind("--requests=", 0) == 0) {
+        load.requests = std::stoi(arg.substr(11));
+      } else if (arg == "--stats") {
+        want_stats = true;
+      } else {
+        std::cerr << "dcc_load: unknown flag '" << arg << "' (see --help)\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "dcc_load: " << arg << ": " << e.what() << '\n';
+      return 2;
+    }
+  }
+  if (load.spec_lines.empty()) {
+    std::cerr << "dcc_load: at least one --spec=LINE is required\n";
+    return 2;
+  }
+
+  dcc::service::LoadResult r;
+  try {
+    r = dcc::service::RunLoad(load);
+  } catch (const std::exception& e) {
+    std::cerr << "dcc_load: " << e.what() << '\n';
+    return 2;
+  }
+
+  std::cout << "{\"schema\": \"dcc.load.v1\", \"requests\": " << r.requests
+            << ", \"errors\": " << r.errors
+            << ", \"result_cached\": " << r.result_cached
+            << ", \"topology_cached\": " << r.topology_cached
+            << ", \"uncached\": " << r.uncached
+            << ", \"wall_ms\": " << dcc::JsonNumber(r.wall_ms)
+            << ", \"ms_per_request\": " << dcc::JsonNumber(r.ms_per_request)
+            << ", \"rps\": " << dcc::JsonNumber(r.rps)
+            << ", \"reports_consistent\": "
+            << (r.reports_consistent ? "true" : "false") << "}\n";
+  if (!r.first_error.empty()) {
+    std::cerr << "dcc_load: first error: " << r.first_error << '\n';
+  }
+
+  if (want_stats) {
+    try {
+      dcc::service::Client client(load.socket_path);
+      std::cout << client.StatsJson() << '\n';
+    } catch (const std::exception& e) {
+      std::cerr << "dcc_load: stats: " << e.what() << '\n';
+      return 2;
+    }
+  }
+  return (r.errors == 0 && r.reports_consistent) ? 0 : 1;
+}

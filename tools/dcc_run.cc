@@ -6,6 +6,7 @@
 // Scenario flags are the ScenarioSpec grammar (see README "Running
 // experiments" or --help). Driver-only flags:
 //   --list         print registered topologies and algorithms, then exit
+//   --canonical    print the spec's canonical content key, then exit
 //   --json=PATH    write the sweep report as JSON (- for stdout)
 //   --quiet        suppress the per-run text summary
 //   --help         usage
@@ -57,6 +58,10 @@ void PrintUsage(std::ostream& os) {
         "driver flags:\n"
         "  --list --json=PATH --quiet --help   (--json=- writes the report\n"
         "                             to stdout and implies --quiet)\n"
+        "  --canonical                print the spec's canonical content\n"
+        "                             key — the order-invariant line the\n"
+        "                             dccd service caches address on — and\n"
+        "                             exit\n"
         "\n"
         "run `dcc_run --list` for registered topologies/algorithms.\n";
 }
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> spec_args;
   std::string json_path;
   bool quiet = false;
+  bool canonical = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -93,6 +99,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       PrintRegistries(std::cout);
       return 0;
+    } else if (arg == "--canonical") {
+      canonical = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -113,6 +121,10 @@ int main(int argc, char** argv) {
   std::vector<RunReport> runs;
   try {
     spec = ScenarioSpec::FromArgs(spec_args);
+    if (canonical) {
+      std::cout << spec.CanonicalKey() << '\n';
+      return 0;
+    }
     // DCC_ENGINE_MODE / DCC_ENGINE_CELL / DCC_ENGINE_THREADS supply the
     // engine defaults (same knobs as the benches); explicit
     // --engine/--cell/--threads flags win. When any default still comes

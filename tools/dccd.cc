@@ -1,0 +1,105 @@
+// dccd — the resident scenario daemon.
+//
+//   $ dccd --socket=/tmp/dccd.sock &
+//   $ dcc_load --socket=/tmp/dccd.sock \
+//       --spec='--topology=uniform:n=256,side=8 --algo=clustering'
+//
+// Serves ScenarioSpec runs over a Unix domain socket with content-
+// addressed topology/result caches (see src/dcc/service/service.h for
+// the protocol). Runs until SIGTERM/SIGINT, then drains gracefully:
+// in-flight requests finish, responses flush, and the final
+// dcc.service.v1 stats object is printed to stdout before exit 0.
+#include <signal.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dcc/service/service.h"
+
+namespace {
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: dccd [flags]\n"
+        "\n"
+        "  --socket=PATH        Unix socket to listen on (/tmp/dccd.sock)\n"
+        "  --queue=N            admission queue capacity; run requests\n"
+        "                       beyond N concurrent block at the door (64)\n"
+        "  --topology-cache=N   cached generated networks, LRU (64)\n"
+        "  --result-cache=N     cached serialized reports, LRU (4096)\n"
+        "  --help               usage\n"
+        "\n"
+        "SIGTERM/SIGINT drain the daemon: in-flight requests finish, the\n"
+        "final dcc.service.v1 stats object goes to stdout, exit 0.\n";
+}
+
+bool ParseCount(const std::string& arg, const std::string& prefix,
+                long long* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(prefix.size());
+  try {
+    std::size_t used = 0;
+    *out = std::stoll(value, &used);
+    if (used != value.size() || *out < 1) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    std::cerr << "dccd: " << prefix << " needs a positive integer, got '"
+              << value << "'\n";
+    std::exit(2);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dcc::service::Service::Options opts;
+  opts.socket_path = "/tmp/dccd.sock";
+
+  long long n = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      opts.socket_path = arg.substr(9);
+    } else if (ParseCount(arg, "--queue=", &n)) {
+      opts.queue_capacity = static_cast<int>(n);
+    } else if (ParseCount(arg, "--topology-cache=", &n)) {
+      opts.topology_cache = static_cast<std::size_t>(n);
+    } else if (ParseCount(arg, "--result-cache=", &n)) {
+      opts.result_cache = static_cast<std::size_t>(n);
+    } else {
+      std::cerr << "dccd: unknown flag '" << arg << "' (see --help)\n";
+      return 2;
+    }
+  }
+
+  // Route shutdown through sigwait instead of a handler: every service
+  // thread inherits the blocked mask, so signals land only on this thread,
+  // where Drain() can safely take locks and join.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  dcc::service::Service service(opts);
+  try {
+    service.Start();
+  } catch (const std::exception& e) {
+    std::cerr << "dccd: " << e.what() << '\n';
+    return 2;
+  }
+  std::cerr << "dccd: listening on " << service.socket_path() << '\n';
+
+  int sig = 0;
+  while (sigwait(&mask, &sig) != 0) {
+  }
+  std::cerr << "dccd: caught " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+            << ", draining\n";
+  service.Drain();
+  service.Snapshot().PrintJson(std::cout);
+  std::cout << '\n';
+  return 0;
+}
