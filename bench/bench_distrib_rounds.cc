@@ -1,0 +1,176 @@
+// bench_distrib_rounds — the process axis of the sharded round engine:
+// one grid-mode SINR round distributed across R rank processes
+// (src/dcc/distrib, dcc_run --ranks=N) versus the same round serial.
+//
+// For n = 65536 (--full extends to 262144) and the dense transmitter
+// regime (every 8th node transmits — the same acceptance workload
+// bench_parallel_rounds times in-process), the bench walks a rank ladder
+// {0, 2, 4}: rank count 0 is the serial grid engine, every other count
+// spawns real dcc_rank processes over socketpairs through a
+// distrib::Session. Each distributed config first pins its receptions
+// bit-identical to serial (the oracle harness's invariant, re-checked
+// here on the timed workload), then reports ms/round, the speedup over
+// serial, and the per-round halo traffic from Session::Stats — so the
+// wire cost of shipping the boundary CSR is a first-class column next to
+// the time it buys.
+//
+// Flags:
+//   --compare_json   one JSON object per line (dcc.bench.distrib_rounds.v1)
+//   --full           extend the size ladder
+//
+// CI appends the JSON to the stream scripts/bench_trend.py tracks in
+// BENCH_trend.json (keyed on (n, ranks), value ms_per_round), entering
+// the >15% regression gate.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dcc/distrib/session.h"
+#include "dcc/scenario/scenario.h"
+#include "dcc/scenario/spec.h"
+#include "dcc/sinr/engine.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dcc::distrib::Session;
+using dcc::scenario::ScenarioSpec;
+using dcc::sinr::Engine;
+using dcc::sinr::Network;
+using dcc::sinr::Reception;
+
+// The ranks rebuild their replica from the spec, so the bench must build
+// its network the same way the scenario layer does — a spec line, not an
+// ad-hoc generator.
+ScenarioSpec MakeSpec(int n) {
+  const double side = std::sqrt(static_cast<double>(n));
+  char topo[64];
+  std::snprintf(topo, sizeof topo, "--topology=uniform:n=%d,side=%g", n, side);
+  ScenarioSpec spec = ScenarioSpec::FromArgs({topo});
+  return spec;
+}
+
+bool SameReceptions(const std::vector<Reception>& a,
+                    const std::vector<Reception>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].listener != b[i].listener || a[i].sender != b[i].sender ||
+        a[i].sinr != b[i].sinr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ms per round, over enough rounds to fill ~300 ms of wall clock. The
+// warmup round also sizes the scratch and (for a Session-backed engine)
+// spawns the ranks, so process launch never pollutes the timing.
+double TimeRounds(const Engine& eng, const std::vector<std::size_t>& tx,
+                  const std::vector<std::size_t>& listeners) {
+  std::vector<Reception> out;
+  const auto w0 = Clock::now();
+  eng.StepInto(tx, listeners, out);
+  const double warm_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - w0).count();
+  const int rounds = std::max(3, static_cast<int>(300.0 / (warm_ms + 0.01)));
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) eng.StepInto(tx, listeners, out);
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return ms / rounds;
+}
+
+void EmitLine(bool json, int n, std::size_t n_tx, std::size_t n_listen,
+              int ranks, double ms, double speedup, double halo_mb,
+              double reply_mb, bool identical, int* bad) {
+  *bad += identical ? 0 : 1;
+  if (json) {
+    std::cout << "{\"schema\": \"dcc.bench.distrib_rounds.v1\", "
+              << "\"n\": " << n << ", \"tx\": " << n_tx
+              << ", \"listeners\": " << n_listen << ", \"ranks\": " << ranks
+              << ", \"ms_per_round\": " << ms << ", \"speedup\": " << speedup
+              << ", \"halo_mb_per_round\": " << halo_mb
+              << ", \"reply_mb_per_round\": " << reply_mb
+              << ", \"identical\": " << (identical ? "true" : "false")
+              << "}\n";
+  } else {
+    std::printf("%7d  %5d  %8.3f  %7.2fx  %10.3f  %10.3f  %s\n", n, ranks, ms,
+                speedup, halo_mb, reply_mb, identical ? "yes" : "NO");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare_json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      std::cerr << "usage: bench_distrib_rounds [--compare_json] [--full]\n";
+      return 2;
+    }
+  }
+
+  std::vector<int> sizes{65536};
+  if (full) sizes.push_back(262144);
+  const std::vector<int> rank_ladder{2, 4};
+  constexpr std::uint64_t kSeed = 42;
+
+  if (!json) {
+    std::cout << "distributed rounds (grid engine, rank processes over "
+                 "socketpairs; ranks=0 is serial)\n"
+              << "      n  ranks  ms/round   speedup  halo MB/rd  reply "
+                 "MB/rd  identical\n";
+  }
+
+  int bad = 0;
+  for (const int n : sizes) {
+    const ScenarioSpec spec = MakeSpec(n);
+    const Network net = dcc::scenario::BuildScenarioNetwork(spec, kSeed);
+    std::vector<std::size_t> tx, listeners;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      (i % 8 == 0 ? tx : listeners).push_back(i);
+    }
+
+    const Engine::Options grid{.mode = Engine::Mode::kGrid};
+    const Engine serial(net, grid);
+    const std::vector<Reception> want = serial.Step(tx, listeners);
+    const double serial_ms = TimeRounds(serial, tx, listeners);
+    EmitLine(json, n, tx.size(), listeners.size(), 0, serial_ms, 1.0, 0.0,
+             0.0, true, &bad);
+
+    for (const int ranks : rank_ladder) {
+      Session session(spec, kSeed, Session::Options{ranks, ""});
+      Engine::Options opts = grid;
+      opts.delegate = &session;
+      const Engine dist(net, opts);
+      const bool identical = SameReceptions(want, dist.Step(tx, listeners));
+      const double ms = TimeRounds(dist, tx, listeners);
+      const Session::Stats& st = session.stats();
+      const double per_round =
+          st.rounds > 0 ? 1.0 / (static_cast<double>(st.rounds) * 1048576.0)
+                        : 0.0;
+      EmitLine(json, n, tx.size(), listeners.size(), ranks, ms,
+               serial_ms / ms, static_cast<double>(st.halo_bytes) * per_round,
+               static_cast<double>(st.reply_bytes) * per_round, identical,
+               &bad);
+    }
+  }
+  if (bad > 0) {
+    std::cerr << "bench_distrib_rounds: " << bad
+              << " configurations diverged from serial receptions\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,10 +5,10 @@ BENCH_trend.json (at the repo root, committed) holds one entry per
 recorded run: a timestamp, the host parallelism, and the key config
 points of every tracked bench schema. This script maintains it:
 
-  append   read bench JSON lines on stdin (bench_parallel_rounds
-           --compare_json and/or bench_service_load --compare_json;
-           concatenating both streams records one combined entry) and
-           append one trend entry
+  append   read bench JSON lines on stdin (bench_parallel_rounds,
+           bench_service_load and/or bench_distrib_rounds, each with
+           --compare_json; concatenating the streams records one
+           combined entry) and append one trend entry
   check    read bench JSON lines on stdin and compare against the last
            committed entry: exit 1 if any matching config slowed down by
            more than --threshold (default 15%); configs under --min-ms
@@ -22,6 +22,7 @@ Tracked schemas and their identity/value fields:
                                  min_shard), value ms_per_round
   dcc.bench.service_load.v1      keyed on (workload, phase, connections),
                                  value ms_per_request
+  dcc.bench.distrib_rounds.v1    keyed on (n, ranks), value ms_per_round
 
 Points are matched on (schema, key fields). Configs present in one side
 only produce a warning, never a failure — the thread ladder legitimately
@@ -49,6 +50,11 @@ SCHEMAS = {
     "dcc.bench.service_load.v1": {
         "key_fields": ("workload", "phase", "connections"),
         "value_field": "ms_per_request",
+        "keep": lambda obj: True,
+    },
+    "dcc.bench.distrib_rounds.v1": {
+        "key_fields": ("n", "ranks"),
+        "value_field": "ms_per_round",
         "keep": lambda obj: True,
     },
 }
@@ -99,6 +105,9 @@ def fmt_key(key):
     if schema == "dcc.bench.service_load.v1":
         workload, phase, connections = key[1:]
         return f"service {workload} {phase} c={connections}"
+    if schema == "dcc.bench.distrib_rounds.v1":
+        n, ranks = key[1:]
+        return f"n={n} distrib ranks={ranks}"
     return " ".join(str(k) for k in key)
 
 

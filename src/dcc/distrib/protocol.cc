@@ -1,0 +1,276 @@
+#include "dcc/distrib/protocol.h"
+
+#include "dcc/common/wire.h"
+
+namespace dcc::distrib {
+
+namespace {
+
+using wire::PayloadReader;
+using wire::PayloadWriter;
+using wire::WireError;
+
+void CheckTag(PayloadReader& r, MsgTag expected) {
+  const auto got = static_cast<MsgTag>(r.U8());
+  if (got != expected) {
+    throw WireError("distrib: expected message tag " +
+                    std::to_string(static_cast<int>(expected)) + ", got " +
+                    std::to_string(static_cast<int>(got)));
+  }
+}
+
+// A hostile or corrupted element count must fail as a truncation error
+// before it becomes an allocation: every element consumes at least
+// `min_bytes` of the remaining payload.
+void CheckCount(const PayloadReader& r, std::uint64_t count,
+                std::size_t min_bytes) {
+  if (count * min_bytes > r.remaining()) {
+    throw WireError("distrib: element count " + std::to_string(count) +
+                    " exceeds the remaining payload");
+  }
+}
+
+}  // namespace
+
+std::string Encode(const HelloMsg& m) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(MsgTag::kHello));
+  w.U32(m.version);
+  w.U32(m.rank);
+  w.U32(m.ranks);
+  w.U64(m.seed);
+  w.Str(m.spec_line);
+  w.F64(m.cell);
+  w.U8(m.has_coverage ? 1 : 0);
+  w.F64(m.coverage.lo.x);
+  w.F64(m.coverage.lo.y);
+  w.F64(m.coverage.hi.x);
+  w.F64(m.coverage.hi.y);
+  w.F64(m.far_start);
+  w.U64(m.n);
+  w.U64(m.tile_count);
+  return w.Take();
+}
+
+HelloMsg DecodeHello(std::string_view payload) {
+  PayloadReader r(payload);
+  CheckTag(r, MsgTag::kHello);
+  HelloMsg m;
+  m.version = r.U32();
+  m.rank = r.U32();
+  m.ranks = r.U32();
+  m.seed = r.U64();
+  m.spec_line = r.Str();
+  m.cell = r.F64();
+  m.has_coverage = r.U8() != 0;
+  m.coverage.lo.x = r.F64();
+  m.coverage.lo.y = r.F64();
+  m.coverage.hi.x = r.F64();
+  m.coverage.hi.y = r.F64();
+  m.far_start = r.F64();
+  m.n = r.U64();
+  m.tile_count = r.U64();
+  r.ExpectEnd();
+  return m;
+}
+
+std::string Encode(const HelloAckMsg& m) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(MsgTag::kHelloAck));
+  w.U32(m.rank);
+  w.U64(m.n);
+  w.U64(m.tile_count);
+  return w.Take();
+}
+
+HelloAckMsg DecodeHelloAck(std::string_view payload) {
+  PayloadReader r(payload);
+  CheckTag(r, MsgTag::kHelloAck);
+  HelloAckMsg m;
+  m.rank = r.U32();
+  m.n = r.U64();
+  m.tile_count = r.U64();
+  r.ExpectEnd();
+  return m;
+}
+
+std::string Encode(const PositionsMsg& m) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(MsgTag::kPositions));
+  w.U64(m.positions.size());
+  for (std::size_t i = 0; i < m.positions.size(); ++i) {
+    w.F64(m.positions[i].x);
+    w.F64(m.positions[i].y);
+    w.U8(m.live[i]);
+  }
+  return w.Take();
+}
+
+PositionsMsg DecodePositions(std::string_view payload) {
+  PayloadReader r(payload);
+  CheckTag(r, MsgTag::kPositions);
+  const std::uint64_t n = r.U64();
+  CheckCount(r, n, 17);
+  PositionsMsg m;
+  m.positions.resize(n);
+  m.live.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.positions[i].x = r.F64();
+    m.positions[i].y = r.F64();
+    m.live[i] = r.U8();
+  }
+  r.ExpectEnd();
+  return m;
+}
+
+std::string Encode(const RoundMsg& m) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(MsgTag::kRound));
+  w.U64(m.round);
+  w.U64(m.n_listen_total);
+  w.U64(m.tx.size());
+  for (const std::uint64_t v : m.tx) w.U64(v);
+  w.U64(m.owned.size());
+  for (const auto& [ordinal, listener] : m.owned) {
+    w.U32(ordinal);
+    w.U64(listener);
+  }
+  w.U32(static_cast<std::uint32_t>(m.near.size()));
+  for (const TxSlice& s : m.near) {
+    w.U32(s.tile);
+    w.U32(static_cast<std::uint32_t>(s.members.size()));
+    for (std::size_t i = 0; i < s.members.size(); ++i) {
+      w.U64(s.members[i]);
+      w.F64(s.pos[i].x);
+      w.F64(s.pos[i].y);
+    }
+  }
+  w.U32(static_cast<std::uint32_t>(m.far.size()));
+  for (const auto& [tile, count] : m.far) {
+    w.U32(tile);
+    w.U32(count);
+  }
+  return w.Take();
+}
+
+RoundMsg DecodeRound(std::string_view payload) {
+  PayloadReader r(payload);
+  CheckTag(r, MsgTag::kRound);
+  RoundMsg m;
+  m.round = r.U64();
+  m.n_listen_total = r.U64();
+  const std::uint64_t n_tx = r.U64();
+  CheckCount(r, n_tx, 8);
+  m.tx.resize(n_tx);
+  for (std::uint64_t i = 0; i < n_tx; ++i) m.tx[i] = r.U64();
+  const std::uint64_t n_owned = r.U64();
+  CheckCount(r, n_owned, 12);
+  m.owned.resize(n_owned);
+  for (std::uint64_t i = 0; i < n_owned; ++i) {
+    m.owned[i].first = r.U32();
+    m.owned[i].second = r.U64();
+  }
+  const std::uint32_t n_near = r.U32();
+  CheckCount(r, n_near, 8);
+  m.near.resize(n_near);
+  for (std::uint32_t i = 0; i < n_near; ++i) {
+    TxSlice& s = m.near[i];
+    s.tile = r.U32();
+    const std::uint32_t count = r.U32();
+    CheckCount(r, count, 24);
+    s.members.resize(count);
+    s.pos.resize(count);
+    for (std::uint32_t j = 0; j < count; ++j) {
+      s.members[j] = r.U64();
+      s.pos[j].x = r.F64();
+      s.pos[j].y = r.F64();
+    }
+  }
+  const std::uint32_t n_far = r.U32();
+  CheckCount(r, n_far, 8);
+  m.far.resize(n_far);
+  for (std::uint32_t i = 0; i < n_far; ++i) {
+    m.far[i].first = r.U32();
+    m.far[i].second = r.U32();
+  }
+  r.ExpectEnd();
+  return m;
+}
+
+std::string Encode(const RoundReplyMsg& m) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(MsgTag::kRoundReply));
+  w.U64(m.round);
+  w.U32(static_cast<std::uint32_t>(m.receptions.size()));
+  for (const ReplyEntry& e : m.receptions) {
+    w.U32(e.ordinal);
+    w.U64(e.listener);
+    w.U64(e.sender);
+    w.F64(e.sinr);
+  }
+  return w.Take();
+}
+
+RoundReplyMsg DecodeRoundReply(std::string_view payload) {
+  PayloadReader r(payload);
+  CheckTag(r, MsgTag::kRoundReply);
+  RoundReplyMsg m;
+  m.round = r.U64();
+  const std::uint32_t count = r.U32();
+  CheckCount(r, count, 28);
+  m.receptions.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ReplyEntry& e = m.receptions[i];
+    e.ordinal = r.U32();
+    e.listener = r.U64();
+    e.sender = r.U64();
+    e.sinr = r.F64();
+  }
+  r.ExpectEnd();
+  return m;
+}
+
+std::string EncodeShutdown() {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(MsgTag::kShutdown));
+  return w.Take();
+}
+
+std::string EncodeError(const std::string& message) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(MsgTag::kError));
+  w.Str(message);
+  return w.Take();
+}
+
+std::string DecodeError(std::string_view payload) {
+  PayloadReader r(payload);
+  CheckTag(r, MsgTag::kError);
+  std::string message = r.Str();
+  r.ExpectEnd();
+  return message;
+}
+
+MsgTag PeekTag(std::string_view payload) {
+  if (payload.empty()) throw WireError("distrib: empty message payload");
+  return static_cast<MsgTag>(static_cast<std::uint8_t>(payload[0]));
+}
+
+std::vector<int> NearTxTiles(const SpatialGrid& grid,
+                             std::span<const int> listener_tiles,
+                             std::span<const int> occupied_tx,
+                             double far_start) {
+  const double far_sq = far_start * far_start;
+  std::vector<int> near;
+  for (const int b : occupied_tx) {
+    for (const int t : listener_tiles) {
+      if (grid.TileDistLoSq(t, b) <= far_sq) {
+        near.push_back(b);
+        break;
+      }
+    }
+  }
+  return near;
+}
+
+}  // namespace dcc::distrib

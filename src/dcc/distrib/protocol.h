@@ -1,0 +1,142 @@
+// Wire protocol of the distributed round execution mode (src/dcc/distrib):
+// the message vocabulary a coordinator (Session) and its rank processes
+// exchange over socketpairs, encoded with the compact binary payload codec
+// (common/wire.h) inside length-prefixed frames.
+//
+// The protocol is the halo invariant of docs/ARCHITECTURE.md made explicit:
+// per round the coordinator ships each rank
+//  * the full transmitter manifest in ORIGINAL round order (the exact
+//    fallback and shadowing paths sum interference in that order — shipping
+//    only nearby transmitters would change reception bits),
+//  * the rank's owned listener ordinals,
+//  * exact CSR slices of the transmitter tiles within `far_start` of any
+//    owned listener tile (the near/mid halo the staged refinement scans
+//    member-by-member), and
+//  * (tile, count) envelope summaries for everything farther (far-field
+//    tiles contribute through count-scaled distance bounds only).
+// A rank holds a deterministic replica of the network (rebuilt from the
+// spec line + seed in the Hello, kept current by Positions frames), derives
+// the same halo partition with NearTxTiles, and verifies the shipped slices
+// match its replica bitwise — any divergence between the two address spaces
+// fails the round loudly instead of silently skewing SINR bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dcc/common/geometry.h"
+#include "dcc/common/spatial_grid.h"
+
+namespace dcc::distrib {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgTag : std::uint8_t {
+  kHello = 1,       // coordinator -> rank: identity + replica recipe
+  kHelloAck = 2,    // rank -> coordinator: replica built and verified
+  kPositions = 3,   // coordinator -> rank: full position + liveness sync
+  kRound = 4,       // coordinator -> rank: one round's manifest + halo
+  kRoundReply = 5,  // rank -> coordinator: ordinal-tagged receptions
+  kShutdown = 6,    // coordinator -> rank: clean exit
+  kError = 8,       // rank -> coordinator: fatal failure, then exit
+};
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t rank = 0;
+  std::uint32_t ranks = 0;
+  std::uint64_t seed = 0;
+  // Canonical static spec line (ScenarioSpec flag grammar): topology, SINR
+  // params, shadowing, id seed — everything BuildScenarioNetwork needs to
+  // reproduce the coordinator's network bit-for-bit.
+  std::string spec_line;
+  // Engine geometry the rank must mirror exactly: tile side, optional
+  // explicit coverage box (dynamic scenarios), far-field threshold.
+  double cell = 0.0;
+  bool has_coverage = false;
+  Box coverage;
+  double far_start = 0.0;
+  // Expected replica shape, verified by the rank before the ack.
+  std::uint64_t n = 0;
+  std::uint64_t tile_count = 0;
+};
+
+struct HelloAckMsg {
+  std::uint32_t rank = 0;
+  std::uint64_t n = 0;
+  std::uint64_t tile_count = 0;
+};
+
+struct PositionsMsg {
+  std::vector<Vec2> positions;     // one per node, index order
+  std::vector<std::uint8_t> live;  // 1 = in the spatial index (churn)
+};
+
+// One near/mid halo tile: the transmitters bucketed into it, in the
+// engine's CSR order, with their bit-exact positions.
+struct TxSlice {
+  std::uint32_t tile = 0;
+  std::vector<std::uint64_t> members;
+  std::vector<Vec2> pos;
+};
+
+struct RoundMsg {
+  std::uint64_t round = 0;
+  std::uint64_t n_listen_total = 0;  // listeners across ALL ranks
+  std::vector<std::uint64_t> tx;     // manifest, original round order
+  // This rank's listeners: (global ordinal, node index), ordinal-ascending.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> owned;
+  std::vector<TxSlice> near;  // tile-ascending
+  // Far-field envelope summaries: (tile, transmitter count), tile-ascending.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> far;
+};
+
+struct ReplyEntry {
+  std::uint32_t ordinal = 0;
+  std::uint64_t listener = 0;
+  std::uint64_t sender = 0;
+  double sinr = 0.0;
+};
+
+struct RoundReplyMsg {
+  std::uint64_t round = 0;
+  std::vector<ReplyEntry> receptions;  // ordinal-ascending
+};
+
+// Encoders produce one frame payload (tag byte + body).
+std::string Encode(const HelloMsg& m);
+std::string Encode(const HelloAckMsg& m);
+std::string Encode(const PositionsMsg& m);
+std::string Encode(const RoundMsg& m);
+std::string Encode(const RoundReplyMsg& m);
+std::string EncodeShutdown();
+std::string EncodeError(const std::string& message);
+
+// First byte of a received payload; throws WireError on an empty payload.
+MsgTag PeekTag(std::string_view payload);
+
+// Decoders verify the tag, bounds-check every read, and reject trailing
+// bytes; all failures throw wire::WireError.
+HelloMsg DecodeHello(std::string_view payload);
+HelloAckMsg DecodeHelloAck(std::string_view payload);
+PositionsMsg DecodePositions(std::string_view payload);
+RoundMsg DecodeRound(std::string_view payload);
+RoundReplyMsg DecodeRoundReply(std::string_view payload);
+std::string DecodeError(std::string_view payload);
+
+// The near/mid halo set: occupied transmitter tiles within `far_start` of
+// at least one of `listener_tiles` (tile-box to tile-box lower bound —
+// the exact criterion the engine's staged refinement uses to decide which
+// tiles it scans member-by-member). Both ends derive the halo with this
+// one function, so they can only agree or fail verification; they cannot
+// silently diverge. `listener_tiles` and `occupied_tx` ascending; the
+// result is an ascending subset of `occupied_tx`.
+std::vector<int> NearTxTiles(const SpatialGrid& grid,
+                             std::span<const int> listener_tiles,
+                             std::span<const int> occupied_tx,
+                             double far_start);
+
+}  // namespace dcc::distrib

@@ -1,0 +1,18 @@
+// Rank side of the distributed round execution mode: the process body
+// behind tools/dcc_rank. A rank rebuilds a deterministic replica of the
+// coordinator's network from the Hello frame's spec line + seed, keeps it
+// current from Positions frames, and answers Round frames by resolving its
+// owned listener ordinals with the exact serial grid kernel
+// (Engine::StepOrdinalsInto) — after verifying the shipped halo slices
+// against its own replica bitwise, so the two address spaces can never
+// silently diverge.
+#pragma once
+
+namespace dcc::distrib {
+
+// Serves frames on `fd` until a Shutdown frame (returns 0) or a failure
+// (best-effort Error frame to the coordinator, returns nonzero). EOF on
+// the stream — the coordinator vanished — returns nonzero without output.
+int RunRank(int fd);
+
+}  // namespace dcc::distrib

@@ -1,0 +1,123 @@
+// Coordinator side of the distributed round execution mode: a Session owns
+// R rank processes (fork/exec of tools/dcc_rank over socketpairs) and takes
+// over whole engine rounds through the sinr::StepDelegate hook — the
+// in-process shard fan-out becomes a fan-out over processes, and the
+// shard-ordered merge becomes a gather.
+//
+// Per round the session cuts the listener set into R contiguous tile
+// ranges with the same balanced ShardPlan the in-process engine uses,
+// ships each rank its owned ordinals plus the halo (protocol.h), gathers
+// the ordinal-tagged replies, and emits receptions in ordinal order — the
+// exact serial emission order, so distributed receptions are bit-identical
+// to the in-process engine at every rank count (the 3-step argument in
+// docs/ARCHITECTURE.md).
+//
+// Failure model: any rank dying (EOF on its frame stream), wire error, or
+// protocol violation throws DistribError naming the rank; the scenario
+// layer converts that into an ok=false report with the dcc.distrib.v1
+// section it has so far. The destructor always reaps every child —
+// shutdown frames first, SIGKILL for stragglers — and never hangs.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dcc/distrib/protocol.h"
+#include "dcc/parallel/shard_plan.h"
+#include "dcc/scenario/spec.h"
+#include "dcc/sinr/engine.h"
+
+namespace dcc::distrib {
+
+class DistribError : public std::runtime_error {
+ public:
+  explicit DistribError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Session : public sinr::StepDelegate {
+ public:
+  struct Options {
+    int ranks = 2;
+    // Rank executable; empty resolves $DCC_RANK_EXE, then dcc_rank next to
+    // the current executable (all build targets land in one directory).
+    std::string rank_exe;
+  };
+
+  // Deterministic per-run accounting (byte counts are pure functions of
+  // the round content, never of timing), so the dcc.distrib.v1 report
+  // section is byte-pinnable.
+  struct Stats {
+    int ranks = 0;
+    std::int64_t rounds = 0;       // rounds shipped to the ranks
+    std::int64_t halo_tiles = 0;   // near CSR slices sent (sum over ranks)
+    std::int64_t halo_bytes = 0;   // round frame payload bytes sent
+    std::int64_t reply_bytes = 0;  // reply frame payload bytes received
+    std::vector<std::int64_t> rank_load;  // cumulative owned listeners
+  };
+
+  // `spec` supplies the replica recipe the ranks rebuild the network from
+  // (topology + SINR + shadowing + id seed under `seed`); engine geometry
+  // is taken from the live engine at the first StepRound. Ranks launch
+  // lazily on the first round.
+  Session(const scenario::ScenarioSpec& spec, std::uint64_t seed,
+          Options opts);
+  ~Session() override;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // StepDelegate: ships the round, gathers replies, emits receptions in
+  // serial order. Always returns true (a distributed engine never falls
+  // back silently — a failure must surface, not change the execution
+  // substrate mid-run). Throws DistribError on any rank failure.
+  bool StepRound(const sinr::Engine& engine,
+                 std::span<const std::size_t> transmitters,
+                 std::span<const std::size_t> listeners,
+                 std::vector<sinr::Reception>& out) override;
+
+  const Stats& stats() const { return stats_; }
+  int ranks() const { return opts_.ranks; }
+
+  // Test hook: SIGKILLs rank k's process (the socket stays open, so the
+  // next round observes EOF/ECONNRESET and must fail cleanly).
+  void KillRank(int k);
+
+ private:
+  struct Rank {
+    int fd = -1;
+    pid_t pid = -1;
+    bool alive = false;
+  };
+
+  void EnsureStarted(const sinr::Engine& engine);
+  void SpawnRank(int k, const std::string& exe);
+  void SendPositions(const sinr::Engine& engine);
+  // Send/receive one frame on rank k, wrapping failures in DistribError.
+  void SendTo(int k, const std::string& payload);
+  std::string ReadFrom(int k);
+
+  scenario::ScenarioSpec spec_;
+  std::uint64_t seed_ = 0;
+  Options opts_;
+  bool started_ = false;
+  std::vector<Rank> ranks_;
+  std::uint64_t round_ = 0;
+  std::uint64_t last_pos_gen_ = 0;
+  std::uint64_t last_index_gen_ = 0;
+  parallel::ShardPlan plan_;
+  Stats stats_;
+
+  // Round-scratch buffers, reused across rounds.
+  std::vector<std::uint32_t> tile_weights_;
+  std::vector<int> tx_tile_;
+  std::vector<int> occupied_tx_;
+  std::vector<std::uint32_t> tx_count_;
+  std::vector<std::pair<std::uint32_t, sinr::Reception>> merge_;
+};
+
+}  // namespace dcc::distrib

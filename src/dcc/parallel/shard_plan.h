@@ -51,6 +51,11 @@ class ShardPlan {
   // entries).
   int ShardOfTile(int tile) const;
 
+  // The raw cut points: bounds()[k] .. bounds()[k+1] is shard k's tile
+  // range. The distributed launcher exports these to rank processes, which
+  // must agree on the exact cut.
+  std::span<const int> bounds() const { return bounds_; }
+
  private:
   // bounds_[0] = 0 <= bounds_[1] <= ... <= bounds_[K] = n_tiles.
   std::vector<int> bounds_;

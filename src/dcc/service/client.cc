@@ -85,7 +85,15 @@ Client::RunResult Client::DoRun(const std::string& spec_line,
   RunResult out;
   out.ok = parsed.GetBool("ok", false);
   if (!out.ok) {
-    out.error = parsed.GetString("error", "unknown error");
+    // Two error shapes: a plain string (bad spec, unknown op) or the
+    // structured {"code", "message"} object (draining; see service.h).
+    const JsonValue* err = parsed.Find("error");
+    if (err != nullptr && err->kind() == JsonValue::Kind::kObject) {
+      out.error_code = err->GetString("code", "");
+      out.error = err->GetString("message", "unknown error");
+    } else {
+      out.error = parsed.GetString("error", "unknown error");
+    }
     return out;
   }
   out.cached = parsed.GetString("cached", "");

@@ -31,6 +31,9 @@ class Client {
     std::string cached;    // "result" | "topology" | "none" (ok only)
     std::string report;    // raw serialized dcc.run_report.v1 bytes (ok only)
     std::string error;     // daemon's message (ok == false only)
+    // Machine-actionable rejection code from a structured error frame
+    // ("draining"); empty for plain-string errors (bad spec, unknown op).
+    std::string error_code;
   };
 
   // One run request. With `seed`, pins the seed; otherwise the spec's

@@ -49,6 +49,13 @@ std::string ErrorResponse(std::uint64_t id, const std::string& what) {
 
 }  // namespace
 
+std::string Service::ErrorFrame(std::uint64_t id, const std::string& code,
+                                const std::string& message) {
+  return "{\"id\": " + std::to_string(id) +
+         ", \"ok\": false, \"error\": {\"code\": " + JsonQuote(code) +
+         ", \"message\": " + JsonQuote(message) + "}}";
+}
+
 std::string TopologyCacheKey(const scenario::ScenarioSpec& spec,
                              std::uint64_t seed) {
   scenario::ScenarioSpec key;
@@ -187,6 +194,9 @@ std::string Service::HandleRequest(const std::string& frame) {
     if (seed_field != nullptr) seed_num = seed_field->GetNumber();
     return HandleRun(id, spec_field->GetString(),
                      seed_field ? &seed_num : nullptr);
+  } catch (const DrainingError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(id, "draining", e.what());
   } catch (const std::exception& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(id, e.what());
@@ -237,7 +247,10 @@ std::string Service::HandleRun(std::uint64_t id, const std::string& spec_line,
           rep.PrintJson(os);
           serialized = os.str();
         });
-        if (!admitted) throw InvalidArgument("service is draining");
+        if (!admitted) {
+          throw DrainingError(
+              "service is draining; no new runs are admitted");
+        }
         return std::make_shared<const std::string>(std::move(serialized));
       },
       &result_hit);
@@ -259,6 +272,10 @@ void Service::Drain() {
     }
     return;
   }
+  // Wake admitters blocked on a full queue FIRST: their requests are
+  // rejected with the structured draining frame (and their connection
+  // threads flush it and exit) instead of waiting out every admitted run.
+  admission_.Drain();
   // Stop the accept loop, then stop new frames on every open connection;
   // requests already received finish and flush their responses.
   ::shutdown(listen_fd_, SHUT_RDWR);

@@ -20,9 +20,16 @@
 //           "report": <dcc.run_report.v1 object, always the last field>}
 //   stats: {"id": N, "ok": true, "stats": <dcc.service.v1 object>}
 //   ping:  {"id": N, "ok": true}
-//   error: {"id": N, "ok": false, "error": "..."}  (bad spec, unknown op,
-//          draining). `ok` means "a report was produced" — a run whose
-//          validator failed still answers ok = true with report.ok false.
+//   error: {"id": N, "ok": false, "error": "..."}  (bad spec, unknown op).
+//          `ok` means "a report was produced" — a run whose validator
+//          failed still answers ok = true with report.ok false.
+//          A run rejected because the service is draining answers with a
+//          STRUCTURED error — the one machine-actionable rejection (the
+//          client's move is "retry against the next instance", not "fix
+//          the request"), so the code must be a stable field, not a
+//          substring of prose (pinned in docs/REPORT_SCHEMA.md):
+//            {"id": N, "ok": false,
+//             "error": {"code": "draining", "message": "..."}}
 //
 // Execution path of a run request:
 //   result cache (CanonicalKey(spec)+seed -> serialized report; a hit
@@ -45,6 +52,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,6 +64,15 @@
 #include "dcc/sinr/network.h"
 
 namespace dcc::service {
+
+// A run rejected by the draining admission queue. Carries a stable machine
+// code ("draining") that HandleRequest turns into the structured error
+// frame instead of the plain-string form.
+class DrainingError : public std::runtime_error {
+ public:
+  explicit DrainingError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 // The topology cache's content key: the coordinates that determine the
 // generated network and nothing else — topology name + params, SINR
@@ -93,6 +110,13 @@ class Service {
   const std::string& socket_path() const { return opts_.socket_path; }
 
   ServiceStats Snapshot() const;
+
+  // The structured error frame:
+  //   {"id": N, "ok": false, "error": {"code": C, "message": M}}
+  // Exposed so the schema-pinning test asserts the exact bytes the docs
+  // promise.
+  static std::string ErrorFrame(std::uint64_t id, const std::string& code,
+                                const std::string& message);
 
  private:
   void AcceptLoop();

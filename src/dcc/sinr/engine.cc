@@ -304,12 +304,43 @@ void Engine::StepInto(std::span<const std::size_t> transmitters,
   stats_.transmissions += static_cast<std::int64_t>(transmitters.size());
   out.clear();
   if (transmitters.empty() || listeners.empty()) return;
+  if (mode_ == Mode::kGrid && options_.delegate != nullptr &&
+      options_.delegate->StepRound(*this, transmitters, listeners, out)) {
+    stats_.receptions += static_cast<std::int64_t>(out.size());
+    return;
+  }
   if (mode_ == Mode::kGrid) {
     StepGrid(transmitters, listeners, out);
   } else {
     StepExact(transmitters, listeners, out);
   }
   stats_.receptions += static_cast<std::int64_t>(out.size());
+}
+
+void Engine::StepOrdinalsInto(
+    std::span<const std::size_t> transmitters,
+    std::span<const std::size_t> listeners,
+    std::span<const std::uint32_t> ordinals,
+    std::vector<std::pair<std::uint32_t, Reception>>& out) const {
+  DCC_REQUIRE(mode_ == Mode::kGrid,
+              "StepOrdinalsInto: grid mode only (the distributed kernel)");
+  out.clear();
+  if (transmitters.empty() || ordinals.empty()) return;
+  AbandonPrefetch();
+  // A rank runs with threads == 1, so BuildPrologue skips the shard
+  // decomposition and this is exactly the serial per-round index build.
+  RoundPrologue& P = prologue_[live_slot_];
+  BuildPrologue(P, transmitters, listeners, /*tx_pos=*/nullptr);
+  EnsureScratch(1);
+  RoundScratch& s = scratch_[0];
+  StepGridRange(P, transmitters, listeners, /*all_listeners=*/false, ordinals,
+                s);
+  out.insert(out.end(), s.pending.begin(), s.pending.end());
+  stats_.grid_pruned += s.pruned;
+  stats_.grid_exact_fallbacks += s.exact_fallbacks;
+  s.pruned = 0;
+  s.exact_fallbacks = 0;
+  ClearTxMarks(P, transmitters);
 }
 
 // --- Round pipeline. ---

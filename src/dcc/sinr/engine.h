@@ -85,6 +85,25 @@ struct Reception {
   double sinr = 0.0;
 };
 
+class Engine;
+
+// Hook that can take over whole rounds (Options::delegate). StepInto offers
+// every non-empty grid-mode round to the delegate before resolving it
+// locally; returning true means `out` holds the round's receptions (in the
+// serial emission order — the delegate owns the bit-identity contract),
+// false falls through to the engine's own path. The distributed session
+// (src/dcc/distrib) is the one implementation: it ships the round to rank
+// processes and gathers their replies. Exceptions propagate to the Step
+// caller.
+class StepDelegate {
+ public:
+  virtual ~StepDelegate() = default;
+  virtual bool StepRound(const Engine& engine,
+                         std::span<const std::size_t> transmitters,
+                         std::span<const std::size_t> listeners,
+                         std::vector<Reception>& out) = 0;
+};
+
 class Engine {
  public:
   enum class Mode {
@@ -133,6 +152,11 @@ class Engine {
     // flag grammar — tests inject a dedicated pool to pin scheduling
     // behavior without touching the process-wide one.
     parallel::WorkerPool* pool = nullptr;
+    // Round takeover hook (grid mode only): offered every non-empty round
+    // before local resolution. Must outlive the engine. Not in the flag
+    // grammar — the scenario layer wires the distributed session in when
+    // --ranks is set.
+    StepDelegate* delegate = nullptr;
 
     // Options overridden from the environment (benches and dcc_run):
     //   DCC_ENGINE_MODE      = exact | grid | auto (default auto)
@@ -193,6 +217,20 @@ class Engine {
   // inter-round work instead of the disclosure being lost.
   void PumpPrefetch() const;
 
+  // Resolves exactly the listeners named by `ordinals` (ascending indices
+  // into `listeners`) against the full transmitter set, appending
+  // ordinal-tagged receptions in ordinal order. Grid mode only, always
+  // serial. This is the per-rank kernel of the distributed execution mode
+  // (src/dcc/distrib): a rank owning a subset of the listeners runs the
+  // exact same resolution path a shard worker would, so the gathered
+  // merge stays bit-identical to serial. Listener slots outside `ordinals`
+  // are never read — a rank may leave them zeroed.
+  void StepOrdinalsInto(
+      std::span<const std::size_t> transmitters,
+      std::span<const std::size_t> listeners,
+      std::span<const std::uint32_t> ordinals,
+      std::vector<std::pair<std::uint32_t, Reception>>& out) const;
+
   // SINR of transmitter `v` at listener `u` under transmitter set T.
   double Sinr(std::size_t v, std::size_t u,
               const std::vector<std::size_t>& transmitters) const;
@@ -242,6 +280,16 @@ class Engine {
   // Live points in the index (== net().size() minus erased nodes); 0 in
   // exact mode, where no index exists.
   std::size_t IndexSize() const { return grid_ ? grid_->point_count() : 0; }
+
+  // The spatial index (grid mode; nullptr in exact mode). Read-only: the
+  // distributed session reads tile geometry and occupancy to cut rank
+  // ranges and halo sets identical to what the ranks derive themselves.
+  const SpatialGrid* grid() const { return grid_ ? &*grid_ : nullptr; }
+
+  // Distance beyond which tiles contribute through shared far-field bounds
+  // (grid mode). Part of the halo contract: a rank needs exact CSR slices
+  // only for tiles closer than this to its listeners.
+  double far_start() const { return far_start_; }
 
   // Cumulative counters (diagnostics for benches).
   struct Stats {

@@ -1,0 +1,318 @@
+// Serial-equivalence oracle harness for the distributed execution mode
+// (src/dcc/distrib): every configuration runs the same round schedule
+// through
+//   * serial kExact            — the semantic oracle,
+//   * serial kGrid             — the bit-identity reference,
+//   * kGrid with 4 threads     — the in-process shard fan-out,
+//   * kGrid with R in {2,3,5}  — rank processes via distrib::Session,
+// and asserts the reception streams agree:
+//   * within the grid family (serial / threaded / every rank count) the
+//     streams must be BYTE-identical — same order, same (listener, sender),
+//     and bit-equal SINR doubles. This is the halo invariant of
+//     docs/ARCHITECTURE.md: a rank resolves its listeners against a
+//     reconstruction of the full transmitter CSR, so per-listener
+//     resolution is the same arithmetic on the same bits, and the
+//     ordinal-ordered gather restores the serial emission order.
+//   * against kExact the grid family matches as a set on (listener,
+//     sender) with SINR agreement to >= 9 significant digits (the two
+//     strategies sum interference in different associations; see the
+//     engine header). kExact vs kGrid is NOT bit-identical by design, so
+//     the oracle check is set-identity + tolerance, never byte equality.
+//
+// Configurations cover mobility (per-round jitter), churn (index
+// erase/insert mid-schedule), shadowing (the non-pure propagation model
+// whose fallback order the wire protocol must preserve), and jammer fault
+// injection (fixed extra transmitters every round).
+//
+// Failure path: killing a rank mid-run must surface as a DistribError
+// naming the rank on the next round — and the Session destructor must
+// reap every child without hanging. At the scenario layer a rank that
+// cannot even launch must produce a clean ok=false report, not a hang.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcc/common/rng.h"
+#include "dcc/distrib/session.h"
+#include "dcc/scenario/scenario.h"
+#include "dcc/sinr/engine.h"
+
+namespace dcc {
+namespace {
+
+using scenario::ScenarioSpec;
+using sinr::Engine;
+using sinr::Reception;
+
+struct Config {
+  std::string name;
+  std::vector<std::string> args;  // ScenarioSpec flags (network recipe)
+  std::uint64_t seed = 1;
+  int jammers = 0;    // fixed extra transmitters, every round
+  bool dynamic = false;  // per-round jitter + churn at rounds 4/8
+};
+
+std::vector<Config> Configs() {
+  const std::string topo = "--topology=uniform:n=600,side=14";
+  return {
+      {"static", {topo}, 7, 0, false},
+      {"shadowing", {topo, "--shadowing=0.5:7"}, 11, 0, false},
+      {"jammers", {topo}, 13, 8, false},
+      {"mobility_churn", {topo, "--shadowing=0.3:3"}, 17, 4, true},
+  };
+}
+
+constexpr double kSide = 14.0;
+constexpr double kCell = 1.5;
+constexpr int kRounds = 12;
+constexpr std::size_t kChurnNode = 17;
+
+// Deterministic per-round transmitter choice (~1/8 of the live nodes).
+bool Transmits(std::uint64_t seed, int round, std::size_t i) {
+  return HashCombine(HashCombine(seed, static_cast<std::uint64_t>(round)),
+                     static_cast<std::uint64_t>(i)) %
+             8 ==
+         0;
+}
+
+// One engine stream: an Engine plus (for rank streams) the Session that
+// takes its rounds over.
+struct Stream {
+  std::string name;
+  std::unique_ptr<distrib::Session> session;  // null for in-process streams
+  std::unique_ptr<Engine> engine;
+};
+
+Stream MakeStream(const std::string& name, const sinr::Network& net,
+                  Engine::Options opts, const ScenarioSpec& spec,
+                  std::uint64_t seed, int ranks) {
+  Stream s;
+  s.name = name;
+  if (ranks > 0) {
+    s.session = std::make_unique<distrib::Session>(
+        spec, seed, distrib::Session::Options{ranks, ""});
+    opts.delegate = s.session.get();
+  }
+  s.engine = std::make_unique<Engine>(net, opts);
+  return s;
+}
+
+void ExpectByteIdentical(const std::string& label,
+                         const std::vector<Reception>& ref,
+                         const std::vector<Reception>& got, int round) {
+  ASSERT_EQ(ref.size(), got.size()) << label << " round " << round;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref[i].listener, got[i].listener)
+        << label << " round " << round << " entry " << i;
+    ASSERT_EQ(ref[i].sender, got[i].sender)
+        << label << " round " << round << " entry " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(ref[i].sinr),
+              std::bit_cast<std::uint64_t>(got[i].sinr))
+        << label << " round " << round << " entry " << i
+        << ": SINR bits differ (" << ref[i].sinr << " vs " << got[i].sinr
+        << ")";
+  }
+}
+
+// Oracle comparison: same (listener, sender) set, SINR to >= 9 significant
+// digits. Both streams emit in ascending-listener order here (the listener
+// span is ascending and at most one sender can clear beta per listener),
+// so positional comparison doubles as the set check.
+void ExpectOracleMatch(const std::string& label,
+                       const std::vector<Reception>& oracle,
+                       const std::vector<Reception>& got, int round) {
+  ASSERT_EQ(oracle.size(), got.size()) << label << " round " << round;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    ASSERT_EQ(oracle[i].listener, got[i].listener)
+        << label << " round " << round << " entry " << i;
+    ASSERT_EQ(oracle[i].sender, got[i].sender)
+        << label << " round " << round << " entry " << i;
+    ASSERT_NEAR(got[i].sinr / oracle[i].sinr, 1.0, 1e-8)
+        << label << " round " << round << " entry " << i;
+  }
+}
+
+void RunConfig(const Config& cfg) {
+  SCOPED_TRACE(cfg.name);
+  const ScenarioSpec spec = ScenarioSpec::FromArgs(cfg.args);
+  sinr::Network net = scenario::BuildScenarioNetwork(spec, cfg.seed);
+  const std::size_t n = net.size();
+
+  Engine::Options exact;
+  exact.mode = Engine::Mode::kExact;
+  Engine::Options grid;
+  grid.mode = Engine::Mode::kGrid;
+  grid.cell = kCell;
+  if (cfg.dynamic) grid.coverage = Box{{0.0, 0.0}, {kSide, kSide}};
+  Engine::Options grid4 = grid;
+  grid4.threads = 4;
+
+  Engine oracle(net, exact);
+  std::vector<Stream> streams;
+  streams.push_back(MakeStream("grid-serial", net, grid, spec, cfg.seed, 0));
+  streams.push_back(MakeStream("grid-threads4", net, grid4, spec, cfg.seed, 0));
+  for (const int r : {2, 3, 5}) {
+    streams.push_back(MakeStream("ranks-" + std::to_string(r), net, grid, spec,
+                                 cfg.seed, r));
+  }
+
+  // Fixed jammers: always-on extra transmitters, never the churn node.
+  std::vector<std::size_t> jammers;
+  for (std::size_t i = 0; jammers.size() < static_cast<std::size_t>(cfg.jammers);
+       i += 37) {
+    if (i != kChurnNode && i < n) jammers.push_back(i);
+  }
+
+  std::vector<char> live(n, 1);
+  std::vector<Vec2> pos = net.positions();
+  std::vector<Reception> out_oracle, out_ref, out;
+
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    if (cfg.dynamic) {
+      if (round > 0) {
+        // Deterministic jitter, clamped inside the coverage box.
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint64_t h = HashCombine(
+              HashCombine(cfg.seed ^ 0xD17Eull, round), i);
+          const double dx = (static_cast<double>(h % 1000) / 999.0 - 0.5) * 0.3;
+          const double dy =
+              (static_cast<double>((h >> 20) % 1000) / 999.0 - 0.5) * 0.3;
+          pos[i].x = std::clamp(pos[i].x + dx, 0.05, kSide - 0.05);
+          pos[i].y = std::clamp(pos[i].y + dy, 0.05, kSide - 0.05);
+        }
+        net.SetPositions(pos);
+        for (Stream& s : streams) s.engine->SyncIndex();
+      }
+      if (round == 4) {
+        live[kChurnNode] = 0;
+        for (Stream& s : streams) s.engine->IndexErase(kChurnNode);
+      }
+      if (round == 8) {
+        live[kChurnNode] = 1;
+        for (Stream& s : streams) s.engine->IndexInsert(kChurnNode);
+      }
+    }
+
+    std::vector<std::size_t> tx;
+    std::vector<char> is_tx(n, 0);
+    for (const std::size_t j : jammers) {
+      if (live[j]) {
+        tx.push_back(j);
+        is_tx[j] = 1;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (live[i] && !is_tx[i] && Transmits(cfg.seed, round, i)) {
+        tx.push_back(i);
+        is_tx[i] = 1;
+      }
+    }
+    std::sort(tx.begin(), tx.end());
+    std::vector<std::size_t> listeners;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (live[i] && !is_tx[i]) listeners.push_back(i);
+    }
+    ASSERT_FALSE(tx.empty());
+
+    oracle.StepInto(tx, listeners, out_oracle);
+    streams[0].engine->StepInto(tx, listeners, out_ref);
+    ASSERT_GT(out_ref.size(), 0u);
+    ExpectOracleMatch(streams[0].name, out_oracle, out_ref, round);
+    for (std::size_t s = 1; s < streams.size(); ++s) {
+      streams[s].engine->StepInto(tx, listeners, out);
+      ExpectByteIdentical(streams[s].name, out_ref, out, round);
+    }
+  }
+
+  // Every rank session shipped every round.
+  for (const Stream& s : streams) {
+    if (!s.session) continue;
+    EXPECT_EQ(s.session->stats().rounds, kRounds) << s.name;
+    EXPECT_EQ(s.session->stats().ranks, s.session->ranks()) << s.name;
+  }
+}
+
+TEST(DistribEquivalence, Static) { RunConfig(Configs()[0]); }
+TEST(DistribEquivalence, Shadowing) { RunConfig(Configs()[1]); }
+TEST(DistribEquivalence, Jammers) { RunConfig(Configs()[2]); }
+TEST(DistribEquivalence, MobilityChurn) { RunConfig(Configs()[3]); }
+
+// Killing a rank mid-run: the next round must fail with a DistribError
+// naming the dead rank, and the Session destructor must reap the children
+// without hanging (the test would time out otherwise).
+TEST(DistribFailure, RankDeathMidRoundFailsCleanly) {
+  const ScenarioSpec spec =
+      ScenarioSpec::FromArgs({"--topology=uniform:n=300,side=10"});
+  const sinr::Network net = scenario::BuildScenarioNetwork(spec, 21);
+  distrib::Session session(spec, 21, distrib::Session::Options{3, ""});
+  Engine::Options opts;
+  opts.mode = Engine::Mode::kGrid;
+  opts.cell = kCell;
+  opts.delegate = &session;
+  Engine engine(net, opts);
+
+  std::vector<std::size_t> tx, listeners;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    (i % 7 == 0 ? tx : listeners).push_back(i);
+  }
+  std::vector<Reception> out;
+  for (int round = 0; round < 3; ++round) engine.StepInto(tx, listeners, out);
+  EXPECT_EQ(session.stats().rounds, 3);
+
+  session.KillRank(1);
+  try {
+    engine.StepInto(tx, listeners, out);
+    FAIL() << "expected DistribError after killing rank 1";
+  } catch (const distrib::DistribError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+// A rank executable that cannot speak the protocol (exits immediately):
+// the scenario layer must return a clean ok=false report — no hang, no
+// crash — and the error must name the failing rank.
+TEST(DistribFailure, LaunchFailureYieldsErrorReport) {
+  ::setenv("DCC_RANK_EXE", "/bin/false", 1);
+  ScenarioSpec spec = ScenarioSpec::FromArgs(
+      {"--topology=uniform:n=128,side=6", "--engine=grid", "--ranks=2"});
+  const scenario::RunReport rep = scenario::RunScenario(spec, 5);
+  ::unsetenv("DCC_RANK_EXE");
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("rank"), std::string::npos) << rep.error;
+}
+
+// --ranks with a non-grid engine must be rejected loudly, not silently run
+// in-process (the delegate hook is grid-only).
+TEST(DistribFailure, NonGridEngineRejected) {
+  ScenarioSpec spec = ScenarioSpec::FromArgs(
+      {"--topology=uniform:n=128,side=6", "--engine=exact", "--ranks=2"});
+  const scenario::RunReport rep = scenario::RunScenario(spec, 5);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("--ranks"), std::string::npos) << rep.error;
+}
+
+// A full scenario run over ranks reports the dcc.distrib.v1 section with
+// deterministic accounting.
+TEST(DistribEquivalence, ScenarioReportsDistribSection) {
+  ScenarioSpec spec = ScenarioSpec::FromArgs(
+      {"--topology=uniform:n=64,side=4", "--engine=grid", "--ranks=2"});
+  const scenario::RunReport rep = scenario::RunScenario(spec, 3);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.distrib.ranks, 2);
+  EXPECT_GT(rep.distrib.rounds, 0);
+  EXPECT_GT(rep.distrib.halo_bytes, 0);
+  EXPECT_GT(rep.distrib.reply_bytes, 0);
+  ASSERT_EQ(rep.distrib.rank_load.size(), 2u);
+  EXPECT_GE(rep.distrib.imbalance, 1.0);
+}
+
+}  // namespace
+}  // namespace dcc

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "dcc/scenario/scenario.h"
+#include "dcc/service/service.h"
 #include "dcc/service/stats.h"
 
 namespace dcc::scenario {
@@ -121,6 +122,26 @@ TEST(ReportSchemaDocTest, ServiceStatsExampleIsCurrent) {
   std::ostringstream out;
   s.PrintJson(out);
   EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.service.v1"), out.str());
+}
+
+TEST(ReportSchemaDocTest, DistribExampleIsCurrent) {
+  // Real rank processes: the launcher resolves build/dcc_rank next to this
+  // test binary. Every distrib field is a pure function of the round
+  // content, so the whole section pins byte-for-byte.
+  ScenarioSpec spec = PinnedStaticSpec();
+  spec.engine.mode = sinr::Engine::Mode::kGrid;  // what --engine=grid sets
+  spec.ranks = 2;
+  const RunReport rep = RunScenario(spec, 1);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  std::ostringstream out;
+  rep.PrintJson(out);
+  EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.distrib.v1"), out.str());
+}
+
+TEST(ReportSchemaDocTest, DrainingFrameExampleIsCurrent) {
+  EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.service.draining"),
+            dcc::service::Service::ErrorFrame(
+                7, "draining", "service is draining; no new runs are admitted"));
 }
 
 TEST(ReportSchemaDocTest, DynamicExampleIsCurrent) {

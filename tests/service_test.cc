@@ -261,6 +261,48 @@ TEST(ServiceTest, DrainStopsNewConnectionsAndIsIdempotent) {
   EXPECT_TRUE(service.Snapshot().draining);
 }
 
+TEST(ServiceTest, DrainRejectsQueuedRunsWithStructuredError) {
+  Service::Options opts;
+  opts.socket_path = TestSocket("drain_reject");
+  opts.queue_capacity = 1;
+  Service service(opts);
+  service.Start();
+
+  // A occupies the single admission slot with a multi-second run; B then
+  // blocks on admission. Drain must wake B with the structured draining
+  // frame — not strand it until A finishes.
+  Client::RunResult a_result, b_result;
+  std::thread a([&] {
+    Client client(opts.socket_path);
+    a_result = client.Run("--topology=uniform:n=384,side=11");
+  });
+  while (service.Snapshot().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::thread b([&] {
+    Client client(opts.socket_path);
+    b_result = client.Run(kSpec);
+  });
+  // Give B's frame time to reach its connection thread and park on the
+  // admission queue. (If Drain still wins the race, Execute rejects on
+  // entry and B gets the same structured frame — no flaky outcome.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  service.Drain();
+  a.join();
+  b.join();
+
+  EXPECT_TRUE(a_result.ok) << a_result.error;  // admitted work finishes
+  EXPECT_FALSE(b_result.ok);
+  EXPECT_EQ(b_result.error_code, "draining") << b_result.error;
+  EXPECT_NE(b_result.error.find("draining"), std::string::npos);
+}
+
+TEST(ServiceTest, ErrorFrameShapeIsStable) {
+  EXPECT_EQ(Service::ErrorFrame(7, "draining", "service is draining"),
+            "{\"id\": 7, \"ok\": false, \"error\": {\"code\": \"draining\", "
+            "\"message\": \"service is draining\"}}");
+}
+
 TEST(ServiceTest, TopologyKeyIgnoresEverythingButTheNetwork) {
   using dcc::scenario::ScenarioSpec;
   using dcc::service::TopologyCacheKey;

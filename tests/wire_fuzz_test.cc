@@ -1,0 +1,379 @@
+// Property/fuzz coverage for the frame transport and the binary payload
+// codec (common/wire.{h,cc}), exercised the way a hostile or flaky peer
+// would: real socketpairs with adversarial 1-3 byte dribble writes, frames
+// truncated mid-payload and mid-header, oversized length prefixes, EINTR
+// storms against both the reading and the writing side, and payload
+// buffers cut at every byte offset. The invariants: a complete frame is
+// always reassembled bit-exactly, anything malformed throws WireError, and
+// nothing ever crashes, hangs, or reads past a buffer.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dcc/common/rng.h"
+#include "dcc/common/wire.h"
+
+namespace dcc::wire {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    a = sv[0];
+    b = sv[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void CloseA() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+std::string RandomBytes(Xoshiro256ss& rng, std::size_t len) {
+  std::string s(len, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.NextBelow(256));
+  return s;
+}
+
+// The 4-byte big-endian header WriteFrame would emit.
+std::string Header(std::uint32_t len) {
+  std::string h(4, '\0');
+  h[0] = static_cast<char>(len >> 24);
+  h[1] = static_cast<char>(len >> 16);
+  h[2] = static_cast<char>(len >> 8);
+  h[3] = static_cast<char>(len);
+  return h;
+}
+
+TEST(WireFuzz, FramesRoundTripAcrossSocketpair) {
+  SocketPair sp;
+  Xoshiro256ss rng(42);
+  std::vector<std::string> sent;
+  for (const std::size_t len : {0ul, 1ul, 2ul, 37ul, 4096ul, 100000ul}) {
+    sent.push_back(RandomBytes(rng, len));
+  }
+  std::thread writer([&] {
+    for (const std::string& p : sent) WriteFrame(sp.a, p);
+  });
+  std::string got;
+  for (const std::string& p : sent) {
+    ASSERT_TRUE(ReadFrame(sp.b, &got));
+    EXPECT_EQ(got, p);
+  }
+  writer.join();
+}
+
+// A peer that dribbles 1-3 bytes at a time (short reads on our side) must
+// still produce bit-exact frames.
+TEST(WireFuzz, DribbledWritesReassemble) {
+  SocketPair sp;
+  Xoshiro256ss rng(7);
+  const std::string payload = RandomBytes(rng, 997);
+  const std::string raw = Header(static_cast<std::uint32_t>(payload.size())) +
+                          payload;
+  std::thread writer([&] {
+    Xoshiro256ss wrng(8);
+    std::size_t off = 0;
+    while (off < raw.size()) {
+      const std::size_t n =
+          std::min(raw.size() - off, 1 + wrng.NextBelow(3));
+      ASSERT_EQ(::send(sp.a, raw.data() + off, n, MSG_NOSIGNAL),
+                static_cast<ssize_t>(n));
+      off += n;
+    }
+  });
+  std::string got;
+  ASSERT_TRUE(ReadFrame(sp.b, &got));
+  EXPECT_EQ(got, payload);
+  writer.join();
+}
+
+TEST(WireFuzz, CleanEofAtFrameBoundaryReturnsFalse) {
+  SocketPair sp;
+  sp.CloseA();
+  std::string got;
+  EXPECT_FALSE(ReadFrame(sp.b, &got));
+}
+
+TEST(WireFuzz, TruncationMidHeaderThrows) {
+  for (std::size_t cut = 1; cut < 4; ++cut) {
+    SocketPair sp;
+    const std::string h = Header(100);
+    ASSERT_EQ(::send(sp.a, h.data(), cut, MSG_NOSIGNAL),
+              static_cast<ssize_t>(cut));
+    sp.CloseA();
+    std::string got;
+    EXPECT_THROW(ReadFrame(sp.b, &got), WireError) << "cut at " << cut;
+  }
+}
+
+TEST(WireFuzz, TruncationMidPayloadThrows) {
+  Xoshiro256ss rng(11);
+  for (const std::size_t cut : {0ul, 1ul, 99ul, 255ul}) {
+    SocketPair sp;
+    const std::string payload = RandomBytes(rng, 256);
+    const std::string raw =
+        Header(static_cast<std::uint32_t>(payload.size())) +
+        payload.substr(0, cut);
+    ASSERT_EQ(::send(sp.a, raw.data(), raw.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(raw.size()));
+    sp.CloseA();
+    std::string got;
+    EXPECT_THROW(ReadFrame(sp.b, &got), WireError) << "cut at " << cut;
+  }
+}
+
+// A hostile length prefix must be rejected from the 4 header bytes alone —
+// before any allocation, and without trying to read 4 GiB.
+TEST(WireFuzz, OversizedLengthPrefixThrows) {
+  for (const std::uint32_t len :
+       {static_cast<std::uint32_t>(kMaxFrameBytes) + 1, 0xFFFFFFFFu}) {
+    SocketPair sp;
+    const std::string h = Header(len);
+    ASSERT_EQ(::send(sp.a, h.data(), h.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(h.size()));
+    std::string got;
+    EXPECT_THROW(ReadFrame(sp.b, &got), WireError);
+  }
+  // Writing oversized is equally rejected (no partial frame escapes).
+  SocketPair sp;
+  EXPECT_THROW(WriteFrame(sp.a, std::string(kMaxFrameBytes + 1, 'x')),
+               WireError);
+}
+
+// EINTR storm: a signal handler installed WITHOUT SA_RESTART makes every
+// blocking read()/send() eligible to fail with EINTR; the frame layer must
+// retry transparently on both sides. The writer pushes a frame well past
+// the socket buffer so the writing side blocks (and gets interrupted) too.
+std::atomic<int> g_sigusr1_count{0};
+
+TEST(WireFuzz, EintrStormOnBothSidesIsTransparent) {
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) { g_sigusr1_count.fetch_add(1); };
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair sp;
+  Xoshiro256ss rng(13);
+  const std::string payload = RandomBytes(rng, 4u << 20);  // >> socket buffer
+
+  const pthread_t main_thread = pthread_self();
+  std::atomic<bool> reader_started{false};
+  std::atomic<bool> done{false};
+  pthread_t reader_thread{};
+
+  std::string got;
+  std::thread reader([&] {
+    reader_thread = pthread_self();
+    reader_started.store(true);
+    EXPECT_TRUE(ReadFrame(sp.b, &got));
+  });
+  while (!reader_started.load()) std::this_thread::yield();
+
+  std::thread interrupter([&] {
+    while (!done.load()) {
+      pthread_kill(main_thread, SIGUSR1);    // interrupt the writer
+      pthread_kill(reader_thread, SIGUSR1);  // interrupt the reader
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  WriteFrame(sp.a, payload);  // blocks past the socket buffer; EINTRs here
+  reader.join();
+  done.store(true);
+  interrupter.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old, nullptr), 0);
+
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(g_sigusr1_count.load(), 0);
+}
+
+// --- Payload codec. ---
+
+struct Op {
+  int kind;  // 0=u8 1=u32 2=u64 3=f64 4=str
+  std::uint64_t u = 0;
+  double f = 0.0;
+  std::string s;
+};
+
+std::vector<Op> RandomOps(Xoshiro256ss& rng) {
+  std::vector<Op> ops;
+  const std::size_t n = 1 + rng.NextBelow(20);
+  for (std::size_t i = 0; i < n; ++i) {
+    Op op;
+    op.kind = static_cast<int>(rng.NextBelow(5));
+    switch (op.kind) {
+      case 0:
+        op.u = rng.NextBelow(256);
+        break;
+      case 1:
+        op.u = rng.Next() & 0xFFFFFFFFu;
+        break;
+      case 2:
+        op.u = rng.Next();
+        break;
+      case 3:
+        // Bit-pattern round trip must survive the values JSON cannot carry.
+        switch (rng.NextBelow(5)) {
+          case 0:
+            op.f = std::numeric_limits<double>::quiet_NaN();
+            break;
+          case 1:
+            op.f = std::numeric_limits<double>::infinity();
+            break;
+          case 2:
+            op.f = -0.0;
+            break;
+          default:
+            op.f = (rng.NextDouble() - 0.5) * 1e300;
+        }
+        break;
+      default:
+        op.s = std::string(rng.NextBelow(32), '\0');
+        for (auto& c : op.s) c = static_cast<char>(rng.NextBelow(256));
+        break;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::string Encode(const std::vector<Op>& ops) {
+  PayloadWriter w;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case 0:
+        w.U8(static_cast<std::uint8_t>(op.u));
+        break;
+      case 1:
+        w.U32(static_cast<std::uint32_t>(op.u));
+        break;
+      case 2:
+        w.U64(op.u);
+        break;
+      case 3:
+        w.F64(op.f);
+        break;
+      default:
+        w.Str(op.s);
+        break;
+    }
+  }
+  return w.Take();
+}
+
+void DecodeAll(const std::vector<Op>& ops, PayloadReader& r,
+               bool check = false) {
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case 0: {
+        const auto v = r.U8();
+        if (check) EXPECT_EQ(v, static_cast<std::uint8_t>(op.u));
+        break;
+      }
+      case 1: {
+        const auto v = r.U32();
+        if (check) EXPECT_EQ(v, static_cast<std::uint32_t>(op.u));
+        break;
+      }
+      case 2: {
+        const auto v = r.U64();
+        if (check) EXPECT_EQ(v, op.u);
+        break;
+      }
+      case 3: {
+        const double v = r.F64();
+        if (check) {
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(v),
+                    std::bit_cast<std::uint64_t>(op.f));
+        }
+        break;
+      }
+      default: {
+        const std::string v = r.Str();
+        if (check) EXPECT_EQ(v, op.s);
+        break;
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, PayloadCodecRoundTripsBitExactly) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Xoshiro256ss rng(seed * 131);
+    const auto ops = RandomOps(rng);
+    const std::string buf = Encode(ops);
+    PayloadReader r(buf);
+    DecodeAll(ops, r, /*check=*/true);
+    EXPECT_TRUE(r.AtEnd());
+    r.ExpectEnd();
+  }
+}
+
+// Every strict prefix of an encoded payload must throw WireError at some
+// read — never complete, never read past the buffer.
+TEST(WireFuzz, TruncatedPayloadsAlwaysThrow) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Xoshiro256ss rng(seed * 733);
+    const auto ops = RandomOps(rng);
+    const std::string buf = Encode(ops);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      PayloadReader r(std::string_view(buf).substr(0, len));
+      EXPECT_THROW(DecodeAll(ops, r), WireError)
+          << "prefix " << len << " of " << buf.size();
+    }
+  }
+}
+
+TEST(WireFuzz, HostileStringLengthThrowsBeforeAllocating) {
+  PayloadWriter w;
+  w.U32(0xFFFFFFFFu);  // claims a 4 GiB string
+  w.U8(1);
+  const std::string buf = w.Take();
+  PayloadReader r(buf);
+  EXPECT_THROW(r.Str(), WireError);
+}
+
+TEST(WireFuzz, TrailingBytesAreAProtocolError) {
+  PayloadWriter w;
+  w.U32(5);
+  w.U8(9);
+  const std::string buf = w.Take();
+  PayloadReader r(buf);
+  EXPECT_EQ(r.U32(), 5u);
+  EXPECT_THROW(r.ExpectEnd(), WireError);
+  EXPECT_EQ(r.U8(), 9u);
+  r.ExpectEnd();
+}
+
+TEST(WireFuzz, OversizedStrWriteRejected) {
+  PayloadWriter w;
+  // Str length-checks against kMaxFrameBytes up front; build the length
+  // without building a 64 MiB string by checking the guard boundary.
+  const std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(w.Str(big), WireError);
+}
+
+}  // namespace
+}  // namespace dcc::wire

@@ -1,0 +1,37 @@
+// dcc_rank — one rank process of the distributed round execution mode.
+// Not run by hand: dcc_run --ranks=N (via distrib::Session) fork/execs one
+// per rank over a socketpair and speaks the distrib protocol on it. The
+// only flag is the inherited socket:
+//
+//   dcc_rank --fd=N
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dcc/distrib/rank.h"
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--fd=", 0) == 0) {
+      char* end = nullptr;
+      fd = static_cast<int>(std::strtol(arg.c_str() + 5, &end, 10));
+      if (end == nullptr || *end != '\0' || fd < 0) {
+        std::fprintf(stderr, "dcc_rank: bad --fd value '%s'\n", arg.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "dcc_rank: unknown flag '%s' (usage: dcc_rank --fd=N; "
+                   "launched by dcc_run --ranks=N, not by hand)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (fd < 0) {
+    std::fprintf(stderr, "dcc_rank: missing --fd=N\n");
+    return 2;
+  }
+  return dcc::distrib::RunRank(fd);
+}

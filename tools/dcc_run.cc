@@ -54,6 +54,11 @@ void PrintUsage(std::ostream& os) {
         "                             with the previous round's shards for\n"
         "                             schedule-driven algorithms (grid mode,\n"
         "                             threads > 1; bit-identical output) (off)\n"
+        "  --ranks=N                  distribute rounds across N rank\n"
+        "                             processes (grid mode; fork/exec of\n"
+        "                             dcc_rank over socketpairs). Receptions\n"
+        "                             are bit-identical to --ranks=0 and runs\n"
+        "                             report a dcc.distrib.v1 section (0)\n"
         "\n"
         "driver flags:\n"
         "  --list --json=PATH --quiet --help   (--json=- writes the report\n"
