@@ -1,0 +1,161 @@
+// bench_obs_overhead — the price of the observability layer
+// (src/dcc/obs): grid-mode SINR rounds with the tracer compiled in but
+// DISABLED versus the same rounds with it ENABLED and recording.
+//
+// The layer's contract is that instrumentation compiled into the hot
+// path (engine rounds, shards, clustering phases) costs one relaxed
+// atomic load per site when tracing is off. This bench prices that
+// contract end to end: for each n it times ms/round traced off and on,
+// re-checks receptions bit-identical across the flip (tracing is pure
+// observation — the trace must never feed back into scheduling), and
+// reports the measured cost of the disabled check itself.
+//
+// Flags:
+//   --compare_json   one JSON object per line (dcc.bench.obs_overhead.v1)
+//   --full           extend the size ladder
+//
+// CI appends the JSON to the stream scripts/bench_trend.py tracks in
+// BENCH_trend.json (keyed on (n, trace), value ms_per_round); the
+// trace=off configs enter a tightened 1% regression gate — the "tracing
+// compiled in but off is free" invariant, watched as a trend.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dcc/obs/trace.h"
+#include "dcc/scenario/scenario.h"
+#include "dcc/scenario/spec.h"
+#include "dcc/sinr/engine.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dcc::obs::Tracer;
+using dcc::obs::TraceSummary;
+using dcc::scenario::ScenarioSpec;
+using dcc::sinr::Engine;
+using dcc::sinr::Network;
+using dcc::sinr::Reception;
+
+ScenarioSpec MakeSpec(int n) {
+  const double side = std::sqrt(static_cast<double>(n));
+  char topo[64];
+  std::snprintf(topo, sizeof topo, "--topology=uniform:n=%d,side=%g", n, side);
+  return ScenarioSpec::FromArgs({topo});
+}
+
+bool SameReceptions(const std::vector<Reception>& a,
+                    const std::vector<Reception>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].listener != b[i].listener || a[i].sender != b[i].sender ||
+        a[i].sinr != b[i].sinr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ms per round, over enough rounds to fill ~300 ms of wall clock.
+double TimeRounds(const Engine& eng, const std::vector<std::size_t>& tx,
+                  const std::vector<std::size_t>& listeners) {
+  std::vector<Reception> out;
+  const auto w0 = Clock::now();
+  eng.StepInto(tx, listeners, out);
+  const double warm_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - w0).count();
+  const int rounds = std::max(3, static_cast<int>(300.0 / (warm_ms + 0.01)));
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) eng.StepInto(tx, listeners, out);
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return ms / rounds;
+}
+
+void EmitLine(bool json, int n, const char* trace, double ms, double overhead,
+              std::int64_t events, std::int64_t dropped, bool identical,
+              int* bad) {
+  *bad += identical ? 0 : 1;
+  if (json) {
+    std::cout << "{\"schema\": \"dcc.bench.obs_overhead.v1\", \"n\": " << n
+              << ", \"trace\": \"" << trace << "\", \"ms_per_round\": " << ms
+              << ", \"overhead_pct\": " << overhead
+              << ", \"events\": " << events << ", \"dropped\": " << dropped
+              << ", \"identical\": " << (identical ? "true" : "false")
+              << "}\n";
+  } else {
+    std::printf("%7d  %-5s  %8.3f  %7.2f%%  %9lld  %9lld  %s\n", n, trace, ms,
+                overhead, static_cast<long long>(events),
+                static_cast<long long>(dropped), identical ? "yes" : "NO");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare_json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      std::cerr << "usage: bench_obs_overhead [--compare_json] [--full]\n";
+      return 2;
+    }
+  }
+
+  std::vector<int> sizes{16384, 65536};
+  if (full) sizes.push_back(262144);
+  constexpr std::uint64_t kSeed = 42;
+
+  if (!json) {
+    std::cout << "observability overhead (grid engine; trace=off must be "
+                 "free, trace=on prices recording)\n"
+              << "      n  trace  ms/round  overhead     events    dropped  "
+                 "identical\n";
+  }
+
+  int bad = 0;
+  for (const int n : sizes) {
+    const ScenarioSpec spec = MakeSpec(n);
+    const Network net = dcc::scenario::BuildScenarioNetwork(spec, kSeed);
+    std::vector<std::size_t> tx, listeners;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      (i % 8 == 0 ? tx : listeners).push_back(i);
+    }
+
+    const Engine::Options grid{.mode = Engine::Mode::kGrid};
+    const Engine eng(net, grid);
+
+    Tracer::Global().Disable();
+    const std::vector<Reception> want = eng.Step(tx, listeners);
+    const double off_ms = TimeRounds(eng, tx, listeners);
+    EmitLine(json, n, "off", off_ms, 0.0, 0, 0, true, &bad);
+
+    Tracer::Global().Enable();
+    const bool identical = SameReceptions(want, eng.Step(tx, listeners));
+    const double on_ms = TimeRounds(eng, tx, listeners);
+    std::ofstream devnull;  // unopened: Drain's writes are discarded
+    const TraceSummary sum = Tracer::Global().Drain(devnull);
+    EmitLine(json, n, "on", on_ms, (on_ms / off_ms - 1.0) * 100.0, sum.events,
+             sum.dropped, identical, &bad);
+    if (!json) {
+      std::printf("         (disabled check: %lld ns / 1000 calls)\n",
+                  static_cast<long long>(sum.overhead_ns));
+    }
+  }
+  if (bad > 0) {
+    std::cerr << "bench_obs_overhead: " << bad
+              << " configurations changed receptions when tracing flipped\n";
+    return 1;
+  }
+  return 0;
+}

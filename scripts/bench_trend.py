@@ -23,10 +23,17 @@ Tracked schemas and their identity/value fields:
   dcc.bench.service_load.v1      keyed on (workload, phase, connections),
                                  value ms_per_request
   dcc.bench.distrib_rounds.v1    keyed on (n, ranks), value ms_per_round
+  dcc.bench.obs_overhead.v1      keyed on (n, trace), value ms_per_round;
+                                 only trace=off points are tracked (the
+                                 "tracing compiled in but disabled is
+                                 free" invariant), under a per-schema 1%
+                                 gate instead of --threshold
 
-Points are matched on (schema, key fields). Configs present in one side
-only produce a warning, never a failure — the thread ladder legitimately
-varies with host core count, and a new bench's first run has no baseline.
+Points are matched on (schema, key fields). A schema may pin its own
+regression threshold (the obs overhead gate above); --threshold covers
+the rest. Configs present in one side only produce a warning, never a
+failure — the thread ladder legitimately varies with host core count,
+and a new bench's first run has no baseline.
 The regression gate can be skipped for a known-slow commit with
 `[bench-skip]` in the commit message (the CI job checks the tag, not this
 script).
@@ -56,6 +63,16 @@ SCHEMAS = {
         "key_fields": ("n", "ranks"),
         "value_field": "ms_per_round",
         "keep": lambda obj: True,
+    },
+    "dcc.bench.obs_overhead.v1": {
+        "key_fields": ("n", "trace"),
+        "value_field": "ms_per_round",
+        # trace=on lines are diagnostics (recording is allowed to cost);
+        # the tracked invariant is that the DISABLED instrumentation adds
+        # nothing to the round path, so only trace=off enters the trend —
+        # under a deliberately tight gate.
+        "keep": lambda obj: obj.get("trace") == "off",
+        "threshold": 1.0,
     },
 }
 
@@ -108,6 +125,9 @@ def fmt_key(key):
     if schema == "dcc.bench.distrib_rounds.v1":
         n, ranks = key[1:]
         return f"n={n} distrib ranks={ranks}"
+    if schema == "dcc.bench.obs_overhead.v1":
+        n, trace = key[1:]
+        return f"n={n} obs trace={trace}"
     return " ".join(str(k) for k in key)
 
 
@@ -157,8 +177,9 @@ def compare(args, points):
             continue
         ratio = new_ms / base_ms
         rows.append((key, base_ms, new_ms, ratio))
-        if ratio > 1.0 + args.threshold / 100.0:
-            regressions.append((key, base_ms, new_ms, ratio))
+        threshold = SCHEMAS[key[0]].get("threshold", args.threshold)
+        if ratio > 1.0 + threshold / 100.0:
+            regressions.append((key, base_ms, new_ms, ratio, threshold))
     return rows, regressions
 
 
@@ -166,17 +187,18 @@ def cmd_check(args, points):
     rows, regressions = compare(args, points)
     if not rows:
         return 0
-    for key, base_ms, new_ms, ratio in regressions:
+    for key, base_ms, new_ms, ratio, threshold in regressions:
         print(f"bench_trend: REGRESSION {fmt_key(key)}: "
               f"{base_ms:.3f} -> {new_ms:.3f} ms "
-              f"({(ratio - 1) * 100:+.1f}%)", file=sys.stderr)
+              f"({(ratio - 1) * 100:+.1f}%, gate {threshold:g}%)",
+              file=sys.stderr)
     if regressions:
-        print(f"bench_trend: {len(regressions)} config(s) regressed more "
-              f"than {args.threshold}% vs the last committed trend point "
+        print(f"bench_trend: {len(regressions)} config(s) regressed past "
+              f"their gate vs the last committed trend point "
               f"(commit with [bench-skip] to override)", file=sys.stderr)
         return 1
-    print(f"bench_trend: {len(rows)} configs within {args.threshold}% of "
-          f"the last committed trend point")
+    print(f"bench_trend: {len(rows)} configs within their gates "
+          f"(default {args.threshold}%) of the last committed trend point")
     return 0
 
 
@@ -189,8 +211,8 @@ def cmd_delta(args, points):
                  else f"{(ratio - 1) * 100:+.1f}%")
         print(f"| {fmt_key(key)} | {base_ms:.3f} | {new_ms:.3f} | {delta} |")
     if regressions:
-        print(f"\n**{len(regressions)} config(s) over the "
-              f"{args.threshold}% regression threshold.**")
+        print(f"\n**{len(regressions)} config(s) over their regression "
+              f"threshold.**")
     return 0
 
 

@@ -8,6 +8,7 @@
 #include "dcc/cluster/radius_reduction.h"
 #include "dcc/cluster/sparsify.h"
 #include "dcc/common/math_util.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::cluster {
 
@@ -27,6 +28,7 @@ struct Level {
 ClusteringResult BuildClustering(sim::Exec& ex, const Profile& prof,
                                  const std::vector<std::size_t>& members,
                                  int gamma, std::uint64_t nonce) {
+  DCC_TRACE_SPAN("cluster.build");
   const sinr::Network& net = ex.net();
   const Round start = ex.rounds();
   ClusteringResult res;

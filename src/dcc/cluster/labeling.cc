@@ -1,5 +1,7 @@
 #include "dcc/cluster/labeling.h"
 
+#include "dcc/obs/trace.h"
+
 #include <algorithm>
 #include <functional>
 #include <optional>
@@ -17,6 +19,7 @@ LabelingResult ImperfectLabeling(sim::Exec& ex, const Profile& prof,
                                  const std::vector<std::size_t>& members,
                                  const std::vector<ClusterId>& cluster_of,
                                  int gamma, std::uint64_t nonce) {
+  DCC_TRACE_SPAN("cluster.labeling");
   const sinr::Network& net = ex.net();
   const Round start = ex.rounds();
   LabelingResult res;

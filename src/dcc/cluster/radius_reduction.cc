@@ -7,6 +7,7 @@
 
 #include "dcc/cluster/full_sparsify.h"
 #include "dcc/mis/local_mis.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::cluster {
 
@@ -22,6 +23,7 @@ RadiusReductionStats RadiusReduction(sim::Exec& ex, const Profile& prof,
                                      const std::vector<std::size_t>& members,
                                      std::vector<ClusterId>& cluster_of,
                                      int gamma, std::uint64_t nonce) {
+  DCC_TRACE_SPAN("cluster.radius_reduction");
   const sinr::Network& net = ex.net();
   const std::int64_t N = net.params().id_space;
   const Round start = ex.rounds();

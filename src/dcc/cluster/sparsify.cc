@@ -5,6 +5,7 @@
 
 #include "dcc/mis/linial.h"
 #include "dcc/mis/local_mis.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::cluster {
 
@@ -43,6 +44,7 @@ SparsifyResult Sparsify(sim::Exec& ex, const Profile& prof,
                         const std::vector<std::size_t>& active,
                         const std::vector<ClusterId>& cluster_of, int gamma,
                         bool clustered, std::uint64_t nonce) {
+  DCC_TRACE_SPAN("cluster.sparsify");
   const sinr::Network& net = ex.net();
   const Round start = ex.rounds();
   SparsifyResult res;

@@ -4,12 +4,14 @@
 #include <unordered_set>
 
 #include "dcc/common/geometry.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::cluster {
 
 ClusteringCheck CheckClustering(const sinr::Network& net,
                                 const std::vector<std::size_t>& members,
                                 const std::vector<ClusterId>& cluster_of) {
+  DCC_TRACE_SPAN("cluster.validate");
   ClusteringCheck chk;
   chk.members = members.size();
 

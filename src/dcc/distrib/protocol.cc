@@ -49,6 +49,8 @@ std::string Encode(const HelloMsg& m) {
   w.F64(m.far_start);
   w.U64(m.n);
   w.U64(m.tile_count);
+  w.U8(m.trace ? 1 : 0);
+  w.U64(static_cast<std::uint64_t>(m.trace_clock_ns));
   return w.Take();
 }
 
@@ -70,6 +72,8 @@ HelloMsg DecodeHello(std::string_view payload) {
   m.far_start = r.F64();
   m.n = r.U64();
   m.tile_count = r.U64();
+  m.trace = r.U8() != 0;
+  m.trace_clock_ns = static_cast<std::int64_t>(r.U64());
   r.ExpectEnd();
   return m;
 }
@@ -249,6 +253,21 @@ std::string DecodeError(std::string_view payload) {
   std::string message = r.Str();
   r.ExpectEnd();
   return message;
+}
+
+std::string EncodeTraceDump(const std::string& ship) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(MsgTag::kTraceDump));
+  w.Str(ship);
+  return w.Take();
+}
+
+std::string DecodeTraceDump(std::string_view payload) {
+  PayloadReader r(payload);
+  CheckTag(r, MsgTag::kTraceDump);
+  std::string ship = r.Str();
+  r.ExpectEnd();
+  return ship;
 }
 
 MsgTag PeekTag(std::string_view payload) {

@@ -41,6 +41,7 @@ enum class MsgTag : std::uint8_t {
   kRound = 4,       // coordinator -> rank: one round's manifest + halo
   kRoundReply = 5,  // rank -> coordinator: ordinal-tagged receptions
   kShutdown = 6,    // coordinator -> rank: clean exit
+  kTraceDump = 7,   // rank -> coordinator: trace buffers, after shutdown
   kError = 8,       // rank -> coordinator: fatal failure, then exit
 };
 
@@ -62,6 +63,14 @@ struct HelloMsg {
   // Expected replica shape, verified by the rank before the ack.
   std::uint64_t n = 0;
   std::uint64_t tile_count = 0;
+  // Tracing handshake (pure observation; never consulted by the round
+  // path): when set, the rank enables its local obs::Tracer with a clock
+  // offset derived from `trace_clock_ns` — the coordinator's raw steady
+  // clock stamped just before this hello was sent — so rank events are
+  // recorded directly in the coordinator's clock domain, and answers the
+  // shutdown frame with one kTraceDump before exiting.
+  bool trace = false;
+  std::int64_t trace_clock_ns = 0;
 };
 
 struct HelloAckMsg {
@@ -114,6 +123,9 @@ std::string Encode(const RoundMsg& m);
 std::string Encode(const RoundReplyMsg& m);
 std::string EncodeShutdown();
 std::string EncodeError(const std::string& message);
+// `ship` is an opaque obs::Tracer::EncodeShip payload; the coordinator
+// hands the decoded bytes straight to obs::Tracer::InjectShip.
+std::string EncodeTraceDump(const std::string& ship);
 
 // First byte of a received payload; throws WireError on an empty payload.
 MsgTag PeekTag(std::string_view payload);
@@ -126,6 +138,7 @@ PositionsMsg DecodePositions(std::string_view payload);
 RoundMsg DecodeRound(std::string_view payload);
 RoundReplyMsg DecodeRoundReply(std::string_view payload);
 std::string DecodeError(std::string_view payload);
+std::string DecodeTraceDump(std::string_view payload);
 
 // The near/mid halo set: occupied transmitter tiles within `far_start` of
 // at least one of `listener_tiles` (tile-box to tile-box lower bound —

@@ -10,6 +10,7 @@
 #include "dcc/common/types.h"
 #include "dcc/common/wire.h"
 #include "dcc/distrib/protocol.h"
+#include "dcc/obs/trace.h"
 #include "dcc/scenario/scenario.h"
 #include "dcc/sinr/engine.h"
 
@@ -59,6 +60,14 @@ void HandleHello(Replica& rep, const HelloMsg& m, int fd) {
   }
   rep.rank = m.rank;
   rep.far_start = m.far_start;
+  if (m.trace) {
+    // Record rank events directly in the coordinator's clock domain: the
+    // hello carries the coordinator's raw steady clock stamped just before
+    // the send, so (theirs - ours) corrects every local timestamp. Pure
+    // observation — nothing on the round path reads the tracer.
+    obs::Tracer::Global().Enable();
+    obs::Tracer::Global().SetClockOffset(m.trace_clock_ns - obs::NowRawNs());
+  }
   const auto spec = scenario::ScenarioSpec::FromArgs(SplitLine(m.spec_line));
   rep.net.emplace(scenario::BuildScenarioNetwork(spec, m.seed));
 
@@ -178,6 +187,7 @@ void VerifyHalo(const Replica& rep, const RoundMsg& m) {
 }
 
 void HandleRound(Replica& rep, const RoundMsg& m, int fd) {
+  DCC_TRACE_SPAN("rank.round");
   if (!rep.engine) {
     throw wire::WireError("rank: round frame before hello");
   }
@@ -265,6 +275,12 @@ int RunRank(int fd) {
           HandleRound(rep, DecodeRound(payload), fd);
           break;
         case MsgTag::kShutdown:
+          if (obs::Tracer::enabled()) {
+            // Answer the shutdown with this rank's trace buffers; the
+            // coordinator stitches them into its own drain.
+            wire::WriteFrame(
+                fd, EncodeTraceDump(obs::Tracer::Global().EncodeShip()));
+          }
           return 0;
         default:
           throw wire::WireError(

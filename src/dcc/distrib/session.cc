@@ -14,6 +14,7 @@
 
 #include "dcc/common/types.h"
 #include "dcc/common/wire.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::distrib {
 
@@ -46,6 +47,18 @@ Session::~Session() {
     if (r.fd < 0) continue;
     try {
       wire::WriteFrame(r.fd, EncodeShutdown());
+      if (trace_) {
+        // A traced rank answers the shutdown with one kTraceDump carrying
+        // its event buffers; stitch them into the coordinator tracer so a
+        // single drain emits all clock domains. Best effort — a rank that
+        // died mid-run simply contributes no events.
+        std::string payload;
+        if (wire::ReadFrame(r.fd, &payload) &&
+            PeekTag(payload) == MsgTag::kTraceDump) {
+          const std::int64_t pid = 1 + (&r - ranks_.data());
+          obs::Tracer::Global().InjectShip(pid, DecodeTraceDump(payload));
+        }
+      }
     } catch (...) {
       // Best effort: a dead rank can't take a shutdown frame.
     }
@@ -189,8 +202,13 @@ void Session::EnsureStarted(const sinr::Engine& engine) {
   hello.far_start = engine.far_start();
   hello.n = net.size();
   hello.tile_count = static_cast<std::uint64_t>(grid.tile_count());
+  trace_ = obs::Tracer::enabled();
+  hello.trace = trace_;
   for (int k = 0; k < opts_.ranks; ++k) {
     hello.rank = static_cast<std::uint32_t>(k);
+    // Stamped immediately before each send so the rank's clock offset
+    // reflects this hello's flight, not the whole handshake loop.
+    hello.trace_clock_ns = trace_ ? obs::NowRawNs() : 0;
     SendTo(k, Encode(hello));
   }
   for (int k = 0; k < opts_.ranks; ++k) {
@@ -217,6 +235,7 @@ bool Session::StepRound(const sinr::Engine& engine,
                         std::span<const std::size_t> transmitters,
                         std::span<const std::size_t> listeners,
                         std::vector<sinr::Reception>& out) {
+  DCC_TRACE_SPAN("distrib.round");
   EnsureStarted(engine);
   const sinr::Network& net = engine.net();
   const SpatialGrid& grid = *engine.grid();
@@ -272,71 +291,77 @@ bool Session::StepRound(const sinr::Engine& engine,
   }
 
   std::vector<int> listener_tiles;
-  for (int k = 0; k < R; ++k) {
-    m.owned = owned[static_cast<std::size_t>(k)];
-    // Listener-occupied tiles of this rank's contiguous range.
-    listener_tiles.clear();
-    for (int t = plan_.begin(k); t < plan_.end(k); ++t) {
-      if (tile_weights_[static_cast<std::size_t>(t)] > 0) {
-        listener_tiles.push_back(t);
+  {
+    DCC_TRACE_SPAN("distrib.ship");
+    for (int k = 0; k < R; ++k) {
+      m.owned = owned[static_cast<std::size_t>(k)];
+      // Listener-occupied tiles of this rank's contiguous range.
+      listener_tiles.clear();
+      for (int t = plan_.begin(k); t < plan_.end(k); ++t) {
+        if (tile_weights_[static_cast<std::size_t>(t)] > 0) {
+          listener_tiles.push_back(t);
+        }
       }
-    }
-    const std::vector<int> near =
-        NearTxTiles(grid, listener_tiles, occupied_tx_, engine.far_start());
-    m.near.clear();
-    m.near.reserve(near.size());
-    for (const int b : near) {
-      TxSlice slice;
-      slice.tile = static_cast<std::uint32_t>(b);
-      for (std::size_t i = 0; i < transmitters.size(); ++i) {
-        if (tx_tile_[i] != b) continue;
-        slice.members.push_back(static_cast<std::uint64_t>(transmitters[i]));
-        slice.pos.push_back(net.position(transmitters[i]));
+      const std::vector<int> near =
+          NearTxTiles(grid, listener_tiles, occupied_tx_, engine.far_start());
+      m.near.clear();
+      m.near.reserve(near.size());
+      for (const int b : near) {
+        TxSlice slice;
+        slice.tile = static_cast<std::uint32_t>(b);
+        for (std::size_t i = 0; i < transmitters.size(); ++i) {
+          if (tx_tile_[i] != b) continue;
+          slice.members.push_back(static_cast<std::uint64_t>(transmitters[i]));
+          slice.pos.push_back(net.position(transmitters[i]));
+        }
+        m.near.push_back(std::move(slice));
       }
-      m.near.push_back(std::move(slice));
-    }
-    m.far.clear();
-    std::size_t ni = 0;
-    for (const int b : occupied_tx_) {
-      if (ni < near.size() && near[ni] == b) {
-        ++ni;
-        continue;
+      m.far.clear();
+      std::size_t ni = 0;
+      for (const int b : occupied_tx_) {
+        if (ni < near.size() && near[ni] == b) {
+          ++ni;
+          continue;
+        }
+        m.far.emplace_back(static_cast<std::uint32_t>(b),
+                           tx_count_[static_cast<std::size_t>(b)]);
       }
-      m.far.emplace_back(static_cast<std::uint32_t>(b),
-                         tx_count_[static_cast<std::size_t>(b)]);
+      const std::string payload = Encode(m);
+      stats_.halo_tiles += static_cast<std::int64_t>(m.near.size());
+      stats_.halo_bytes += static_cast<std::int64_t>(payload.size());
+      SendTo(k, payload);
     }
-    const std::string payload = Encode(m);
-    stats_.halo_tiles += static_cast<std::int64_t>(m.near.size());
-    stats_.halo_bytes += static_cast<std::int64_t>(payload.size());
-    SendTo(k, payload);
   }
 
   // Gather in rank order; one ordinal sort restores the serial emission
   // order exactly as the in-process shard merge does.
   merge_.clear();
-  for (int k = 0; k < R; ++k) {
-    const std::string payload = ReadFrom(k);
-    stats_.reply_bytes += static_cast<std::int64_t>(payload.size());
-    const RoundReplyMsg reply = DecodeRoundReply(payload);
-    if (reply.round != round_) {
-      throw DistribError("distrib: rank " + std::to_string(k) +
-                         " answered round " + std::to_string(reply.round) +
-                         " during round " + std::to_string(round_));
-    }
-    stats_.rank_load[static_cast<std::size_t>(k)] +=
-        static_cast<std::int64_t>(owned[static_cast<std::size_t>(k)].size());
-    for (const ReplyEntry& e : reply.receptions) {
-      if (e.ordinal >= listeners.size() ||
-          listeners[e.ordinal] != static_cast<std::size_t>(e.listener)) {
+  {
+    DCC_TRACE_SPAN("distrib.gather");
+    for (int k = 0; k < R; ++k) {
+      const std::string payload = ReadFrom(k);
+      stats_.reply_bytes += static_cast<std::int64_t>(payload.size());
+      const RoundReplyMsg reply = DecodeRoundReply(payload);
+      if (reply.round != round_) {
         throw DistribError("distrib: rank " + std::to_string(k) +
-                           " reported a reception for a listener it does "
-                           "not own (ordinal " +
-                           std::to_string(e.ordinal) + ")");
+                           " answered round " + std::to_string(reply.round) +
+                           " during round " + std::to_string(round_));
       }
-      merge_.emplace_back(
-          e.ordinal,
-          sinr::Reception{static_cast<std::size_t>(e.listener),
-                          static_cast<std::size_t>(e.sender), e.sinr});
+      stats_.rank_load[static_cast<std::size_t>(k)] +=
+          static_cast<std::int64_t>(owned[static_cast<std::size_t>(k)].size());
+      for (const ReplyEntry& e : reply.receptions) {
+        if (e.ordinal >= listeners.size() ||
+            listeners[e.ordinal] != static_cast<std::size_t>(e.listener)) {
+          throw DistribError("distrib: rank " + std::to_string(k) +
+                             " reported a reception for a listener it does "
+                             "not own (ordinal " +
+                             std::to_string(e.ordinal) + ")");
+        }
+        merge_.emplace_back(
+            e.ordinal,
+            sinr::Reception{static_cast<std::size_t>(e.listener),
+                            static_cast<std::size_t>(e.sender), e.sinr});
+      }
     }
   }
   std::sort(merge_.begin(), merge_.end(),

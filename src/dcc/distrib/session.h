@@ -105,6 +105,10 @@ class Session : public sinr::StepDelegate {
   std::uint64_t seed_ = 0;
   Options opts_;
   bool started_ = false;
+  // Tracing was negotiated in the Hello: the destructor collects one
+  // kTraceDump per rank after the shutdown frame and injects it into the
+  // coordinator tracer (pure observation; never read on the round path).
+  bool trace_ = false;
   std::vector<Rank> ranks_;
   std::uint64_t round_ = 0;
   std::uint64_t last_pos_gen_ = 0;

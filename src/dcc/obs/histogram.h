@@ -1,0 +1,90 @@
+// Power-of-two-bucketed histogram — the one histogram shape the repo
+// uses, promoted out of the service layer so the metrics registry and the
+// daemon's latency tracking share an implementation. Bucket i counts
+// values in [2^i, 2^(i+1)) (bucket 0 includes everything below 2).
+// Recording is a single relaxed increment per bucket plus a relaxed sum
+// accumulate, so concurrent writers never contend; reads snapshot the
+// buckets and may lag writers by a few events, which is fine for a
+// surface whose job is trend detection.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dcc::obs {
+
+class Pow2Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  // Inclusive lower / exclusive upper bound of bucket i.
+  static constexpr std::int64_t BucketLower(int i) {
+    return i == 0 ? 0 : std::int64_t{1} << i;
+  }
+  static constexpr std::int64_t BucketUpper(int i) {
+    return std::int64_t{2} << i;
+  }
+
+  void Record(std::int64_t value) {
+    int bucket = 0;
+    while (bucket + 1 < kBuckets && value >= BucketUpper(bucket)) ++bucket;
+    buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  // Quantile `q` (0 < q <= 1), linearly interpolated inside the covering
+  // bucket: with `r` the 1-based rank ceil(q * count) and `b` the bucket
+  // holding it, the estimate is lower(b) + width(b) * r_within / n_b. The
+  // interpolation is what keeps p50 < p99 when every sample lands in one
+  // bucket (the former upper-bound rule collapsed them); a lone sample
+  // still reports its bucket's upper bound. Returns 0 when empty.
+  double Quantile(double q) const {
+    std::array<std::int64_t, kBuckets> snap = SnapshotBuckets();
+    std::int64_t total = 0;
+    for (const std::int64_t c : snap) total += c;
+    if (total == 0) return 0.0;
+    auto rank =
+        static_cast<std::int64_t>(q * static_cast<double>(total) + 0.999999);
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    std::int64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::int64_t in_bucket = snap[static_cast<std::size_t>(i)];
+      if (seen + in_bucket >= rank) {
+        const auto lo = static_cast<double>(BucketLower(i));
+        const auto hi = static_cast<double>(BucketUpper(i));
+        return lo + (hi - lo) * static_cast<double>(rank - seen) /
+                        static_cast<double>(in_bucket);
+      }
+      seen += in_bucket;
+    }
+    return static_cast<double>(BucketUpper(kBuckets - 1));
+  }
+
+  std::int64_t count() const {
+    std::int64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // A relaxed copy of the raw bucket counts, for text exposition.
+  std::array<std::int64_t, kBuckets> SnapshotBuckets() const {
+    std::array<std::int64_t, kBuckets> snap;
+    for (int i = 0; i < kBuckets; ++i) {
+      snap[static_cast<std::size_t>(i)] =
+          buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+}  // namespace dcc::obs

@@ -1,0 +1,112 @@
+#include "dcc/obs/metrics.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace dcc::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(std::string_view name,
+                                                  std::string_view help,
+                                                  Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.help = std::string(help);
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Pow2Histogram>();
+        break;
+    }
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  Entry& e = GetEntry(name, help, Kind::kCounter);
+  if (e.kind != Kind::kCounter) {
+    // Same name registered with a different kind is a programming error;
+    // keep the process alive but quarantine the updates.
+    static Counter fallback;
+    std::fprintf(stderr, "obs: metric %.*s is not a counter\n",
+                 static_cast<int>(name.size()), name.data());
+    return fallback;
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, std::string_view help) {
+  Entry& e = GetEntry(name, help, Kind::kGauge);
+  if (e.kind != Kind::kGauge) {
+    static Gauge fallback;
+    std::fprintf(stderr, "obs: metric %.*s is not a gauge\n",
+                 static_cast<int>(name.size()), name.data());
+    return fallback;
+  }
+  return *e.gauge;
+}
+
+Pow2Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                             std::string_view help) {
+  Entry& e = GetEntry(name, help, Kind::kHistogram);
+  if (e.kind != Kind::kHistogram) {
+    static Pow2Histogram fallback;
+    std::fprintf(stderr, "obs: metric %.*s is not a histogram\n",
+                 static_cast<int>(name.size()), name.data());
+    return fallback;
+  }
+  return *e.histogram;
+}
+
+void MetricsRegistry::PrintText(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : metrics_) {
+    os << "# HELP " << name << ' ' << e.help << '\n';
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << ' ' << e.gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        const auto snap = e.histogram->SnapshotBuckets();
+        int last = -1;
+        std::int64_t total = 0;
+        for (int i = 0; i < Pow2Histogram::kBuckets; ++i) {
+          total += snap[static_cast<std::size_t>(i)];
+          if (snap[static_cast<std::size_t>(i)] > 0) last = i;
+        }
+        std::int64_t cum = 0;
+        for (int i = 0; i <= last; ++i) {
+          cum += snap[static_cast<std::size_t>(i)];
+          os << name << "_bucket{le=\"" << Pow2Histogram::BucketUpper(i)
+             << "\"} " << cum << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << total << '\n'
+           << name << "_sum " << e.histogram->sum() << '\n'
+           << name << "_count " << total << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace dcc::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dcc/common/types.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::parallel {
 
@@ -13,12 +14,17 @@ AdmissionQueue::AdmissionQueue(WorkerPool& pool, int capacity)
 
 bool AdmissionQueue::Execute(const std::function<void()>& fn) {
   {
+    // Queue residency: the span is the time this admitter spent blocked
+    // on a full queue (zero-length when a slot was free).
+    DCC_TRACE_SPAN("admission.wait");
     std::unique_lock<std::mutex> lock(mu_);
     slot_cv_.wait(lock, [&] { return draining_ || depth_ < capacity_; });
     if (draining_) return false;
     ++depth_;
     peak_depth_ = std::max(peak_depth_, depth_);
+    DCC_TRACE_COUNTER("admission.depth", depth_);
   }
+  DCC_TRACE_SPAN("admission.run");
   // Release the slot whatever the job does — Wait() rethrows its exception.
   struct SlotGuard {
     AdmissionQueue* q;

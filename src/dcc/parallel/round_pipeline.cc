@@ -4,13 +4,16 @@
 #include <utility>
 
 #include "dcc/common/types.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::parallel {
 
 void RoundPlanner::Launch(std::function<void()> build) {
   DCC_CHECK(pool_ != nullptr);
   DCC_CHECK(!handle_.valid());
+  DCC_TRACE_INSTANT("pipeline.launch");
   handle_ = pool_->Submit([this, b = std::move(build)] {
+    DCC_TRACE_SPAN("pipeline.speculate");
     const auto t0 = std::chrono::steady_clock::now();
     b();
     build_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -21,6 +24,7 @@ void RoundPlanner::Launch(std::function<void()> build) {
 
 RoundPlanner::Outcome RoundPlanner::Collect() {
   DCC_CHECK(handle_.valid());
+  DCC_TRACE_SPAN("pipeline.collect");
   Outcome out;
   out.overlapped = handle_.Wait();
   out.build_ns = build_ns_;

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "dcc/common/types.h"
+#include "dcc/obs/metrics.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::parallel {
 
@@ -140,6 +142,12 @@ void WorkerPool::JoinTask(Task* task, bool stolen) {
       if (stolen) {
         task->stolen_joins.fetch_add(1, std::memory_order_relaxed);
         steal_count_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter& steals_metric =
+            obs::MetricsRegistry::Global().GetCounter(
+                "dcc_pool_steals_total",
+                "Fan-outs joined via work stealing");
+        steals_metric.Add(1);
+        DCC_TRACE_INSTANT("pool.steal");
       }
     }
     RunJob(*task, i);

@@ -9,6 +9,7 @@
 #include "dcc/cluster/validate.h"
 #include "dcc/common/rng.h"
 #include "dcc/distrib/session.h"
+#include "dcc/obs/trace.h"
 #include "dcc/parallel/worker_pool.h"
 #include "dcc/scenario/dynamics.h"
 #include "dcc/workload/generators.h"
@@ -75,6 +76,7 @@ RunReport RunScenario(const ScenarioSpec& spec, std::uint64_t seed) {
 
 RunReport RunScenarioOnNetwork(const ScenarioSpec& spec, std::uint64_t seed,
                                const sinr::Network& net) {
+  DCC_TRACE_SPAN("scenario.run");
   RunReport rep;
   rep.topology = spec.topology;
   rep.algo = spec.algo;

@@ -31,6 +31,7 @@
 #include <unordered_map>
 
 #include "dcc/common/types.h"
+#include "dcc/obs/trace.h"
 
 namespace dcc::service {
 
@@ -63,7 +64,11 @@ class ContentCache {
       }
       // In flight: wait for the builder, then re-check (the entry may be
       // ready, or erased if the build threw — in which case we take over).
-      ready_cv_.wait(lock);
+      // Each blocked stretch is a single-flight-wait span in the trace.
+      {
+        DCC_TRACE_SPAN("service.cache.wait");
+        ready_cv_.wait(lock);
+      }
     }
     map_.emplace(key, Entry{});
     misses_.fetch_add(1, std::memory_order_relaxed);

@@ -132,6 +132,20 @@ std::string Client::StatsJson() {
   return response.substr(begin, response.size() - begin - 1);
 }
 
+std::string Client::MetricsText() {
+  const std::string response = Call(
+      "{\"op\": \"metrics\", \"id\": " + std::to_string(next_id_++) + '}');
+  const JsonValue parsed = JsonValue::Parse(response);
+  if (!parsed.GetBool("ok", false)) {
+    throw InvalidArgument("client: metrics request failed: " + response);
+  }
+  const JsonValue* text = parsed.Find("metrics");
+  if (text == nullptr || text->kind() != JsonValue::Kind::kString) {
+    throw InvalidArgument("client: malformed metrics response: " + response);
+  }
+  return text->GetString();
+}
+
 void Client::Ping() {
   const std::string response =
       Call("{\"op\": \"ping\", \"id\": " + std::to_string(next_id_++) + '}');

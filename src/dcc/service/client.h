@@ -44,6 +44,10 @@ class Client {
   // Raw dcc.service.v1 stats object.
   std::string StatsJson();
 
+  // Prometheus text exposition from the daemon's `metrics` op (decoded
+  // from its JSON-string transport).
+  std::string MetricsText();
+
   // Round-trip liveness probe; throws if the daemon misbehaves.
   void Ping();
 

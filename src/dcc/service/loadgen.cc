@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "dcc/common/types.h"
+#include "dcc/obs/histogram.h"
 #include "dcc/service/client.h"
 
 namespace dcc::service {
@@ -32,6 +33,7 @@ LoadResult RunLoad(const LoadSpec& spec) {
   std::mutex mu;  // guards the tallies and the reference-report map
   std::unordered_map<std::string, std::string> reference;  // pair key -> bytes
   LoadResult out;
+  obs::Pow2Histogram latency_us;  // atomic buckets; recorded outside `mu`
   std::atomic<int> next_request{0};
   std::exception_ptr failure;
 
@@ -42,7 +44,11 @@ LoadResult RunLoad(const LoadSpec& spec) {
         const int idx = next_request.fetch_add(1, std::memory_order_relaxed);
         if (idx >= spec.requests) break;
         const Pair& p = pairs[static_cast<std::size_t>(idx) % pairs.size()];
+        const auto req0 = std::chrono::steady_clock::now();
         const Client::RunResult r = client.Run(p.line, p.seed);
+        latency_us.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - req0)
+                              .count());
         std::lock_guard<std::mutex> lock(mu);
         ++out.requests;
         if (!r.ok) {
@@ -86,6 +92,9 @@ LoadResult RunLoad(const LoadSpec& spec) {
     out.ms_per_request = out.wall_ms * static_cast<double>(spec.connections) /
                          static_cast<double>(out.requests);
     out.rps = static_cast<double>(out.requests) / (out.wall_ms / 1000.0);
+    out.p50_ms = latency_us.Quantile(0.50) / 1000.0;
+    out.p90_ms = latency_us.Quantile(0.90) / 1000.0;
+    out.p99_ms = latency_us.Quantile(0.99) / 1000.0;
   }
   return out;
 }

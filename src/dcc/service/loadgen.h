@@ -32,6 +32,11 @@ struct LoadResult {
   double wall_ms = 0.0;
   double ms_per_request = 0.0;    // wall_ms * connections / requests
   double rps = 0.0;
+  // Client-side per-request latency percentiles (each connection stamps
+  // around its own Call; interpolated from a power-of-two histogram).
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
   bool reports_consistent = true;  // byte-identity held for every pair
   std::string first_error;         // first ok=false message, for diagnostics
 };

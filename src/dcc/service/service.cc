@@ -12,6 +12,8 @@
 
 #include "dcc/common/json.h"
 #include "dcc/common/wire.h"
+#include "dcc/obs/metrics.h"
+#include "dcc/obs/trace.h"
 #include "dcc/scenario/dynamics.h"
 
 namespace dcc::service {
@@ -164,6 +166,7 @@ void Service::ConnectionLoop(int fd) {
 }
 
 std::string Service::HandleRequest(const std::string& frame) {
+  DCC_TRACE_SPAN("service.request");
   std::uint64_t id = 0;
   try {
     const JsonValue req = JsonValue::Parse(frame);
@@ -181,9 +184,15 @@ std::string Service::HandleRequest(const std::string& frame) {
       return "{\"id\": " + std::to_string(id) +
              ", \"ok\": true, \"stats\": " + os.str() + '}';
     }
+    if (op == "metrics") {
+      std::ostringstream os;
+      PrintMetricsText(os);
+      return "{\"id\": " + std::to_string(id) +
+             ", \"ok\": true, \"metrics\": " + JsonQuote(os.str()) + '}';
+    }
     if (op != "run") {
       throw InvalidArgument("unknown op '" + op +
-                            "' (expected run, stats or ping)");
+                            "' (expected run, stats, metrics or ping)");
     }
     const JsonValue* spec_field = req.Find("spec");
     if (spec_field == nullptr) {
@@ -241,6 +250,11 @@ std::string Service::HandleRun(std::uint64_t id, const std::string& spec_line,
                     },
                     &hit);
             topology_hit = hit;
+            if (hit) {
+              DCC_TRACE_INSTANT("service.topology_cache.hit");
+            } else {
+              DCC_TRACE_INSTANT("service.topology_cache.miss");
+            }
             rep = scenario::RunScenarioOnNetwork(spec, seed, *net);
           }
           std::ostringstream os;
@@ -255,6 +269,11 @@ std::string Service::HandleRun(std::uint64_t id, const std::string& spec_line,
       },
       &result_hit);
 
+  if (result_hit) {
+    DCC_TRACE_INSTANT("service.result_cache.hit");
+  } else {
+    DCC_TRACE_INSTANT("service.result_cache.miss");
+  }
   runs_.fetch_add(1, std::memory_order_relaxed);
   const char* cached =
       result_hit ? "result" : (topology_hit ? "topology" : "none");
@@ -277,11 +296,13 @@ void Service::Drain() {
   // threads flush it and exit) instead of waiting out every admitted run.
   admission_.Drain();
   // Stop the accept loop, then stop new frames on every open connection;
-  // requests already received finish and flush their responses.
+  // requests already received finish and flush their responses. The fd
+  // slot is only cleared once the accept thread has joined — it reads
+  // listen_fd_ on every accept call, so writing -1 any earlier races.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  listen_fd_ = -1;
   accept_thread_.join();
+  listen_fd_ = -1;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
@@ -319,10 +340,68 @@ ServiceStats Service::Snapshot() const {
     s.throughput_rps = static_cast<double>(s.requests) /
                        (static_cast<double>(s.uptime_ms) / 1000.0);
   }
-  s.latency_ms_p50 = latency_.QuantileUpperMs(0.50);
-  s.latency_ms_p99 = latency_.QuantileUpperMs(0.99);
+  s.latency_ms_p50 = latency_.Quantile(0.50) / 1000.0;
+  s.latency_ms_p99 = latency_.Quantile(0.99) / 1000.0;
   s.draining = draining_.load(std::memory_order_acquire);
   return s;
+}
+
+void Service::PrintMetricsText(std::ostream& os) const {
+  const ServiceStats s = Snapshot();
+  const auto counter = [&os](const char* name, const char* help,
+                             std::int64_t v) {
+    os << "# HELP " << name << ' ' << help << "\n# TYPE " << name
+       << " counter\n"
+       << name << ' ' << v << '\n';
+  };
+  const auto gauge = [&os](const char* name, const char* help,
+                           std::int64_t v) {
+    os << "# HELP " << name << ' ' << help << "\n# TYPE " << name
+       << " gauge\n"
+       << name << ' ' << v << '\n';
+  };
+  counter("dcc_service_requests_total", "Frames answered", s.requests);
+  counter("dcc_service_runs_total", "Run ops that produced a report", s.runs);
+  counter("dcc_service_errors_total", "Requests answered with ok=false",
+          s.errors);
+  counter("dcc_service_connections_total", "Connections accepted",
+          s.connections_total);
+  counter("dcc_service_result_cache_hits_total", "Result cache hits",
+          s.result_hits);
+  counter("dcc_service_result_cache_misses_total", "Result cache misses",
+          s.result_misses);
+  counter("dcc_service_topology_cache_hits_total", "Topology cache hits",
+          s.topology_hits);
+  counter("dcc_service_topology_cache_misses_total", "Topology cache misses",
+          s.topology_misses);
+  gauge("dcc_service_connections_active", "Open connections",
+        s.connections_active);
+  gauge("dcc_service_queue_depth", "Admitted runs waiting or running",
+        s.queue_depth);
+  gauge("dcc_service_queue_peak", "Peak admission queue depth", s.queue_peak);
+  gauge("dcc_service_uptime_ms", "Milliseconds since Start", s.uptime_ms);
+
+  const char* hist = "dcc_service_request_latency_us";
+  os << "# HELP " << hist << " Request latency, microseconds\n"
+     << "# TYPE " << hist << " histogram\n";
+  const auto snap = latency_.SnapshotBuckets();
+  int last = -1;
+  std::int64_t total = 0;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    total += snap[static_cast<std::size_t>(i)];
+    if (snap[static_cast<std::size_t>(i)] > 0) last = i;
+  }
+  std::int64_t cum = 0;
+  for (int i = 0; i <= last; ++i) {
+    cum += snap[static_cast<std::size_t>(i)];
+    os << hist << "_bucket{le=\"" << LatencyHistogram::BucketUpper(i) << "\"} "
+       << cum << '\n';
+  }
+  os << hist << "_bucket{le=\"+Inf\"} " << total << '\n'
+     << hist << "_sum " << latency_.sum() << '\n'
+     << hist << "_count " << total << '\n';
+
+  obs::MetricsRegistry::Global().PrintText(os);
 }
 
 }  // namespace dcc::service

@@ -9,7 +9,8 @@
 // per connection; concurrency comes from connections.
 //
 // Request object:
-//   {"op": "run"|"stats"|"ping", "id": N, "spec": "<flag line>", "seed": S}
+//   {"op": "run"|"stats"|"ping"|"metrics", "id": N,
+//    "spec": "<flag line>", "seed": S}
 //     op     defaults to "run". `id` is echoed back verbatim (default 0).
 //     spec   (run) the ScenarioSpec flag grammar — the same line dcc_run
 //            takes. Sweep specs are rejected: a service request is exactly
@@ -19,6 +20,10 @@
 //   run:   {"id": N, "ok": true, "cached": "result"|"topology"|"none",
 //           "report": <dcc.run_report.v1 object, always the last field>}
 //   stats: {"id": N, "ok": true, "stats": <dcc.service.v1 object>}
+//   metrics: {"id": N, "ok": true, "metrics": "<text exposition>"}
+//          — the Prometheus-style dump (service counters, the request
+//          latency histogram, and the process MetricsRegistry) as one
+//          JSON string.
 //   ping:  {"id": N, "ok": true}
 //   error: {"id": N, "ok": false, "error": "..."}  (bad spec, unknown op).
 //          `ok` means "a report was produced" — a run whose validator
@@ -110,6 +115,12 @@ class Service {
   const std::string& socket_path() const { return opts_.socket_path; }
 
   ServiceStats Snapshot() const;
+
+  // Prometheus-style text exposition: the service's own counters and the
+  // request-latency histogram (derived from Snapshot()/latency_), then
+  // everything in obs::MetricsRegistry::Global(). Served by the `metrics`
+  // op and printed by `dcc_load --metrics`.
+  void PrintMetricsText(std::ostream& os) const;
 
   // The structured error frame:
   //   {"id": N, "ok": false, "error": {"code": C, "message": M}}

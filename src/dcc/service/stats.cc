@@ -6,42 +6,6 @@
 
 namespace dcc::service {
 
-void LatencyHistogram::Record(std::int64_t micros) {
-  int bucket = 0;
-  while (bucket + 1 < kBuckets && micros >= (std::int64_t{2} << bucket)) {
-    ++bucket;
-  }
-  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
-      1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::QuantileUpperMs(double q) const {
-  std::array<std::int64_t, kBuckets> snap;
-  std::int64_t total = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    snap[static_cast<std::size_t>(i)] =
-        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
-    total += snap[static_cast<std::size_t>(i)];
-  }
-  if (total == 0) return 0.0;
-  const auto rank =
-      static_cast<std::int64_t>(q * static_cast<double>(total) + 0.999999);
-  std::int64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += snap[static_cast<std::size_t>(i)];
-    if (seen >= rank) {
-      return static_cast<double>(std::int64_t{2} << i) / 1000.0;
-    }
-  }
-  return static_cast<double>(std::int64_t{2} << (kBuckets - 1)) / 1000.0;
-}
-
-std::int64_t LatencyHistogram::count() const {
-  std::int64_t total = 0;
-  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
-  return total;
-}
-
 namespace {
 
 double Rate(std::int64_t hits, std::int64_t misses) {

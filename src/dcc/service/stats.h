@@ -1,38 +1,23 @@
-// The service's observability surface: a lock-free latency histogram fed
-// by every request, and the `dcc.service.v1` stats section the daemon
-// serves for the `stats` op (and prints on clean shutdown). The section
-// layout is pinned byte-for-byte in docs/REPORT_SCHEMA.md by
-// tests/report_schema_test.cc — treat field changes as schema changes.
+// The service's stats surface: the request-latency histogram (the shared
+// power-of-two histogram from src/dcc/obs) and the `dcc.service.v1`
+// stats section the daemon serves for the `stats` op (and prints on
+// clean shutdown). The section layout is pinned byte-for-byte in
+// docs/REPORT_SCHEMA.md by tests/report_schema_test.cc — treat field
+// changes as schema changes.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 
+#include "dcc/obs/histogram.h"
+
 namespace dcc::service {
 
-// Power-of-two-bucketed request latencies: bucket i counts requests in
-// [2^i, 2^(i+1)) microseconds (bucket 0 includes sub-microsecond).
-// Recording is a single relaxed increment, so connection threads never
-// contend; quantiles are read from a snapshot and reported as the upper
-// bound of the covering bucket — coarse (factor-of-two) but stable, which
-// is the right trade for a p99 whose job is trend detection.
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 40;
-
-  void Record(std::int64_t micros);
-
-  // Upper bound, in milliseconds, of the bucket containing quantile `q`
-  // (0 < q <= 1) — 0 when nothing was recorded yet.
-  double QuantileUpperMs(double q) const;
-
-  std::int64_t count() const;
-
- private:
-  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
-};
+// Request latencies in microseconds. Recording is a relaxed increment,
+// so connection threads never contend; quantiles are interpolated inside
+// the covering power-of-two bucket — coarse but stable, the right trade
+// for a p99 whose job is trend detection.
+using LatencyHistogram = obs::Pow2Histogram;
 
 // One snapshot of the service counters ("dcc.service.v1"). Assembled by
 // Service::Snapshot(); a plain value so tests can pin the JSON layout

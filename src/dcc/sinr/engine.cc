@@ -7,6 +7,8 @@
 #include <typeinfo>
 
 #include "dcc/common/parse.h"
+#include "dcc/obs/metrics.h"
+#include "dcc/obs/trace.h"
 #include "dcc/parallel/worker_pool.h"
 
 #if defined(__GNUC__) && defined(__x86_64__)
@@ -300,6 +302,13 @@ std::vector<Reception> Engine::Step(
 void Engine::StepInto(std::span<const std::size_t> transmitters,
                       std::span<const std::size_t> listeners,
                       std::vector<Reception>& out) const {
+  DCC_TRACE_SPAN("engine.round");
+  static obs::Counter& rounds_metric = obs::MetricsRegistry::Global().GetCounter(
+      "dcc_engine_rounds_total", "SINR rounds stepped");
+  static obs::Counter& receptions_metric =
+      obs::MetricsRegistry::Global().GetCounter(
+          "dcc_engine_receptions_total", "Receptions resolved across rounds");
+  rounds_metric.Add(1);
   ++stats_.rounds;
   stats_.transmissions += static_cast<std::int64_t>(transmitters.size());
   out.clear();
@@ -307,6 +316,7 @@ void Engine::StepInto(std::span<const std::size_t> transmitters,
   if (mode_ == Mode::kGrid && options_.delegate != nullptr &&
       options_.delegate->StepRound(*this, transmitters, listeners, out)) {
     stats_.receptions += static_cast<std::int64_t>(out.size());
+    receptions_metric.Add(static_cast<std::int64_t>(out.size()));
     return;
   }
   if (mode_ == Mode::kGrid) {
@@ -315,6 +325,7 @@ void Engine::StepInto(std::span<const std::size_t> transmitters,
     StepExact(transmitters, listeners, out);
   }
   stats_.receptions += static_cast<std::int64_t>(out.size());
+  receptions_metric.Add(static_cast<std::int64_t>(out.size()));
 }
 
 void Engine::StepOrdinalsInto(
@@ -430,6 +441,9 @@ Engine::RoundPrologue& Engine::AcquirePrologue(
 void Engine::BuildPrologue(RoundPrologue& P, std::span<const std::size_t> tx,
                            std::span<const std::size_t> listeners,
                            const Vec2* tx_pos) const {
+  // Serial builds run on the stepping thread; speculative builds run on a
+  // pool worker — the span lands on whichever thread did the work.
+  DCC_TRACE_SPAN("engine.prologue");
   const Network& net = *net_;
   const SpatialGrid& grid = *grid_;
   const auto tiles = static_cast<std::size_t>(grid.tile_count());
@@ -722,6 +736,7 @@ void Engine::StepGridRange(const RoundPrologue& P,
                            bool all_listeners,
                            std::span<const std::uint32_t> ordinals,
                            RoundScratch& s) const {
+  DCC_TRACE_SPAN("engine.shard");
   const Network& net = *net_;
   const PropagationModel& model = net.propagation();
   const SpatialGrid& grid = *grid_;
@@ -873,6 +888,7 @@ void Engine::StepGridRange(const RoundPrologue& P,
 }
 
 void Engine::MergeShards(int shards, std::vector<Reception>& out) const {
+  DCC_TRACE_SPAN("engine.merge");
   // Shard-ordered concatenation; ordinals are globally unique, so one sort
   // restores the exact serial (listener-order) output.
   merge_.clear();

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "dcc/obs/trace.h"
 #include "dcc/scenario/scenario.h"
 #include "dcc/service/service.h"
 #include "dcc/service/stats.h"
@@ -142,6 +143,23 @@ TEST(ReportSchemaDocTest, DrainingFrameExampleIsCurrent) {
   EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.service.draining"),
             dcc::service::Service::ErrorFrame(
                 7, "draining", "service is draining; no new runs are admitted"));
+}
+
+TEST(ReportSchemaDocTest, ObsSummaryExampleIsCurrent) {
+  // Synthesized like the service stats: every field except overhead_ns is
+  // deterministic for a deterministic workload, but the doc pins fixed
+  // values through the same serializer dcc_run and dccd print.
+  obs::TraceSummary sum;
+  sum.events = 4096;
+  sum.spans = 1500;
+  sum.counters = 96;
+  sum.dropped = 0;
+  sum.threads = 4;
+  sum.ranks = 2;
+  sum.overhead_ns = 2048;
+  std::ostringstream out;
+  sum.PrintJson(out);
+  EXPECT_EQ(PinnedExample(ReadDoc(), "dcc.obs.v1"), out.str());
 }
 
 TEST(ReportSchemaDocTest, DynamicExampleIsCurrent) {

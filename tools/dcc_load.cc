@@ -31,6 +31,11 @@ void PrintUsage(std::ostream& os) {
         "  --requests=N         total requests across connections (256)\n"
         "  --stats              also fetch and print daemon stats after the\n"
         "                       run (off)\n"
+        "  --percentiles        append client-side latency percentiles\n"
+        "                       (p50/p90/p99 ms, stamped around each call)\n"
+        "                       to the summary line (off)\n"
+        "  --metrics            fetch and print the daemon's Prometheus\n"
+        "                       text exposition after the run (off)\n"
         "  --help               usage\n";
 }
 
@@ -40,6 +45,8 @@ int main(int argc, char** argv) {
   dcc::service::LoadSpec load;
   load.socket_path = "/tmp/dccd.sock";
   bool want_stats = false;
+  bool want_percentiles = false;
+  bool want_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -59,6 +66,10 @@ int main(int argc, char** argv) {
         load.requests = std::stoi(arg.substr(11));
       } else if (arg == "--stats") {
         want_stats = true;
+      } else if (arg == "--percentiles") {
+        want_percentiles = true;
+      } else if (arg == "--metrics") {
+        want_metrics = true;
       } else {
         std::cerr << "dcc_load: unknown flag '" << arg << "' (see --help)\n";
         return 2;
@@ -88,17 +99,23 @@ int main(int argc, char** argv) {
             << ", \"uncached\": " << r.uncached
             << ", \"wall_ms\": " << dcc::JsonNumber(r.wall_ms)
             << ", \"ms_per_request\": " << dcc::JsonNumber(r.ms_per_request)
-            << ", \"rps\": " << dcc::JsonNumber(r.rps)
-            << ", \"reports_consistent\": "
+            << ", \"rps\": " << dcc::JsonNumber(r.rps);
+  if (want_percentiles) {
+    std::cout << ", \"p50_ms\": " << dcc::JsonNumber(r.p50_ms)
+              << ", \"p90_ms\": " << dcc::JsonNumber(r.p90_ms)
+              << ", \"p99_ms\": " << dcc::JsonNumber(r.p99_ms);
+  }
+  std::cout << ", \"reports_consistent\": "
             << (r.reports_consistent ? "true" : "false") << "}\n";
   if (!r.first_error.empty()) {
     std::cerr << "dcc_load: first error: " << r.first_error << '\n';
   }
 
-  if (want_stats) {
+  if (want_stats || want_metrics) {
     try {
       dcc::service::Client client(load.socket_path);
-      std::cout << client.StatsJson() << '\n';
+      if (want_stats) std::cout << client.StatsJson() << '\n';
+      if (want_metrics) std::cout << client.MetricsText();
     } catch (const std::exception& e) {
       std::cerr << "dcc_load: stats: " << e.what() << '\n';
       return 2;

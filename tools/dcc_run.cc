@@ -8,6 +8,8 @@
 //   --list         print registered topologies and algorithms, then exit
 //   --canonical    print the spec's canonical content key, then exit
 //   --json=PATH    write the sweep report as JSON (- for stdout)
+//   --trace=PATH   record a Chrome-trace of the sweep (pure observation)
+//   --metrics      dump the metrics registry in Prometheus text form
 //   --quiet        suppress the per-run text summary
 //   --help         usage
 // Exit status is 0 iff every run validated (ok == true).
@@ -16,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "dcc/obs/metrics.h"
+#include "dcc/obs/trace.h"
 #include "dcc/scenario/dynamics.h"
 #include "dcc/scenario/scenario.h"
 
@@ -67,6 +71,15 @@ void PrintUsage(std::ostream& os) {
         "                             key — the order-invariant line the\n"
         "                             dccd service caches address on — and\n"
         "                             exit\n"
+        "  --trace=PATH               record spans/counters for the whole\n"
+        "                             sweep and write one Chrome-trace JSON\n"
+        "                             (load in Perfetto / chrome://tracing;\n"
+        "                             rank traces are stitched in). Pure\n"
+        "                             observation: receptions stay\n"
+        "                             bit-identical. Summary on stderr\n"
+        "  --metrics                  after the sweep, dump the process\n"
+        "                             metrics registry (Prometheus text\n"
+        "                             exposition) to stderr\n"
         "\n"
         "run `dcc_run --list` for registered topologies/algorithms.\n";
 }
@@ -94,6 +107,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> spec_args;
   std::string json_path;
+  std::string trace_path;
+  bool metrics = false;
   bool quiet = false;
   bool canonical = false;
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +123,14 @@ int main(int argc, char** argv) {
       canonical = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) {
+        std::cerr << "dcc_run: --trace= needs a path\n";
+        return 2;
+      }
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
       if (json_path.empty()) {
@@ -150,11 +173,24 @@ int main(int argc, char** argv) {
       if (!threads_flag) spec.engine.threads = env_engine.threads;
     }
     if (!quiet) std::cout << "spec: " << spec.ToString() << '\n';
+    if (!trace_path.empty()) dcc::obs::Tracer::Global().Enable();
     runs = RunSweep(spec);
   } catch (const std::exception& e) {
     std::cerr << "dcc_run: " << e.what() << '\n';
     return 2;
   }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "dcc_run: cannot open " << trace_path << '\n';
+      return 2;
+    }
+    const dcc::obs::TraceSummary sum = dcc::obs::Tracer::Global().Drain(out);
+    sum.PrintJson(std::cerr);  // dcc.obs.v1; stdout stays report-only
+    std::cerr << '\n';
+  }
+  if (metrics) dcc::obs::MetricsRegistry::Global().PrintText(std::cerr);
 
   bool all_ok = true;
   for (const RunReport& r : runs) {

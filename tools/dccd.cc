@@ -12,9 +12,11 @@
 #include <signal.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "dcc/obs/trace.h"
 #include "dcc/service/service.h"
 
 namespace {
@@ -27,6 +29,9 @@ void PrintUsage(std::ostream& os) {
         "                       beyond N concurrent block at the door (64)\n"
         "  --topology-cache=N   cached generated networks, LRU (64)\n"
         "  --result-cache=N     cached serialized reports, LRU (4096)\n"
+        "  --trace=PATH         record request/cache/engine spans for the\n"
+        "                       daemon's lifetime; one Chrome-trace JSON is\n"
+        "                       written at drain (pure observation)\n"
         "  --help               usage\n"
         "\n"
         "SIGTERM/SIGINT drain the daemon: in-flight requests finish, the\n"
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
   opts.socket_path = "/tmp/dccd.sock";
 
   long long n = 0;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -69,6 +75,12 @@ int main(int argc, char** argv) {
       opts.topology_cache = static_cast<std::size_t>(n);
     } else if (ParseCount(arg, "--result-cache=", &n)) {
       opts.result_cache = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) {
+        std::cerr << "dccd: --trace= needs a path\n";
+        return 2;
+      }
     } else {
       std::cerr << "dccd: unknown flag '" << arg << "' (see --help)\n";
       return 2;
@@ -83,6 +95,8 @@ int main(int argc, char** argv) {
   sigaddset(&mask, SIGINT);
   sigaddset(&mask, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  if (!trace_path.empty()) dcc::obs::Tracer::Global().Enable();
 
   dcc::service::Service service(opts);
   try {
@@ -99,6 +113,17 @@ int main(int argc, char** argv) {
   std::cerr << "dccd: caught " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
             << ", draining\n";
   service.Drain();
+  if (!trace_path.empty()) {
+    // Drain() joined every service thread, so all trace buffers are quiet.
+    std::ofstream out(trace_path);
+    if (out) {
+      const dcc::obs::TraceSummary sum = dcc::obs::Tracer::Global().Drain(out);
+      sum.PrintJson(std::cerr);
+      std::cerr << '\n';
+    } else {
+      std::cerr << "dccd: cannot open " << trace_path << '\n';
+    }
+  }
   service.Snapshot().PrintJson(std::cout);
   std::cout << '\n';
   return 0;
