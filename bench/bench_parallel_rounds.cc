@@ -14,10 +14,20 @@
 // pattern), so the pipelining win is a first-class column. Per-shard
 // cumulative loads come straight from Engine::Stats.
 //
+// Two far-field-specific regimes ride along at fixed sizes:
+//   sparse_wide  n=65536 single-thread, every 16th node transmits across
+//                thousands of 2.0-side tiles — the far-field-dominated
+//                workload. Timed with --farfield=pyramid and flat; the
+//                pyramid's speedup column is the acceptance target (>= 2x).
+//   tdma         n=4096, an 8-slot periodic schedule for 96 rounds, with
+//                --prologue-cache=8 vs off. Emits the cache hit_rate
+//                (expected (96-8)/96 after the first period) and the
+//                ms/round win from skipping the serial prologue.
+//
 // Flags:
 //   --compare_json   one JSON object per line (dcc.bench.parallel_rounds.v1)
 //   --full           extend the size ladder
-//   --min_shard=G    Engine::Options::min_listeners_per_shard (default 2)
+//   --min_shard=G    Engine::Options::min_listeners_per_shard (default 8)
 //   --sweep_grain    sweep the grain over {1, 2, 8, 64, 512, 4096} instead
 //                    of the single --min_shard value
 //
@@ -196,7 +206,8 @@ double DynamicPass(const Network& base_net, Engine::Options opts,
 void EmitLine(bool json, int n, const char* regime, std::size_t n_tx,
               std::size_t n_listen, int threads, std::size_t min_shard,
               bool pipeline, double ms, double speedup, bool identical,
-              int* bad) {
+              int* bad, const char* farfield = "pyramid",
+              std::size_t cache = 0, double hit_rate = -1.0) {
   *bad += identical ? 0 : 1;
   if (json) {
     std::cout << "{\"schema\": \"dcc.bench.parallel_rounds.v1\", "
@@ -204,13 +215,16 @@ void EmitLine(bool json, int n, const char* regime, std::size_t n_tx,
               << "\", \"tx\": " << n_tx << ", \"listeners\": " << n_listen
               << ", \"threads\": " << threads << ", \"min_shard\": "
               << min_shard << ", \"pipeline\": "
-              << (pipeline ? "true" : "false") << ", \"ms_per_round\": " << ms
-              << ", \"speedup\": " << speedup << ", \"identical\": "
-              << (identical ? "true" : "false") << "}\n";
+              << (pipeline ? "true" : "false") << ", \"farfield\": \""
+              << farfield << "\", \"cache\": " << cache
+              << ", \"ms_per_round\": " << ms << ", \"speedup\": " << speedup;
+    if (hit_rate >= 0.0) std::cout << ", \"hit_rate\": " << hit_rate;
+    std::cout << ", \"identical\": " << (identical ? "true" : "false")
+              << "}\n";
   } else {
-    std::printf("%7d  %-7s  %7d  %8zu  %-4s  %8.3f  %7.2fx  %s\n", n, regime,
-                threads, min_shard, pipeline ? "on" : "off", ms, speedup,
-                identical ? "yes" : "NO");
+    std::printf("%7d  %-11s  %7d  %8zu  %-4s  %-7s  %5zu  %8.3f  %7.2fx  %s\n",
+                n, regime, threads, min_shard, pipeline ? "on" : "off",
+                farfield, cache, ms, speedup, identical ? "yes" : "NO");
   }
 }
 
@@ -255,8 +269,8 @@ int main(int argc, char** argv) {
     std::cout << "parallel sharded rounds (grid engine, shared pool; hw "
                  "parallelism "
               << dcc::parallel::WorkerPool::Shared().parallelism() << ")\n"
-              << "      n  regime   threads     grain  pipe  ms/round   "
-                 "speedup  identical\n";
+              << "      n  regime       threads     grain  pipe  farfield  "
+                 "cache  ms/round   speedup  identical\n";
   }
 
   int bad = 0;
@@ -323,6 +337,80 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // --- sparse_wide: the far-field-dominated workload. A single-thread
+  // round at n=65536 with an explicit 2.0 cell (128x128 = 16384 tiles) and
+  // every 16th node transmitting, so the 4096 transmitters occupy well over
+  // a thousand tiles. The pyramid's speedup over the flat walk is the
+  // acceptance column (target >= 2x). ---
+  {
+    const int n = 65536;
+    const Network net = MakeNet(n);
+    std::vector<std::size_t> tx, listeners;
+    Split(net.size(), 16, tx, listeners);
+    Engine::Options flat_opts{.mode = Engine::Mode::kGrid};
+    flat_opts.cell = 2.0;
+    flat_opts.farfield = Engine::FarField::kFlat;
+    Engine::Options pyr_opts = flat_opts;
+    pyr_opts.farfield = Engine::FarField::kPyramid;
+    const Engine flat(net, flat_opts);
+    const Engine pyr(net, pyr_opts);
+    const std::vector<Reception> want = flat.Step(tx, listeners);
+    const bool identical = SameReceptions(want, pyr.Step(tx, listeners));
+    const double flat_ms = TimeRounds(flat, tx, listeners);
+    const double pyr_ms = TimeRounds(pyr, tx, listeners);
+    EmitLine(json, n, "sparse_wide", tx.size(), listeners.size(), 1,
+             min_shard, false, flat_ms, 1.0, true, &bad, "flat");
+    EmitLine(json, n, "sparse_wide", tx.size(), listeners.size(), 1,
+             min_shard, false, pyr_ms, flat_ms / pyr_ms, identical, &bad,
+             "pyramid");
+  }
+
+  // --- tdma: an 8-slot periodic schedule (each slot a fixed disjoint
+  // transmit set) stepped for 96 rounds. With --prologue-cache=8 every slot
+  // after the first period replays its memoized prologue: hit_rate is
+  // expected to reach (96 - 8) / 96 ~ 0.917. ---
+  {
+    const int n = 4096;
+    constexpr int kSlots = 8;
+    constexpr int kRounds = 96;
+    const Network net = MakeNet(n);
+    std::vector<std::vector<std::size_t>> slot_tx(kSlots), slot_ls(kSlots);
+    for (int s = 0; s < kSlots; ++s) {
+      for (std::size_t i = 0; i < net.size(); ++i) {
+        (i % 64 == static_cast<std::size_t>(s) * 8 ? slot_tx[s] : slot_ls[s])
+            .push_back(i);
+      }
+    }
+    const auto run = [&](std::size_t cache, std::vector<Reception>& digest) {
+      Engine::Options opts{.mode = Engine::Mode::kGrid};
+      opts.prologue_cache = cache;
+      Engine eng(net, opts);
+      std::vector<Reception> out;
+      const auto t0 = Clock::now();
+      for (int r = 0; r < kRounds; ++r) {
+        const int s = r % kSlots;
+        eng.StepInto(slot_tx[static_cast<std::size_t>(s)],
+                     slot_ls[static_cast<std::size_t>(s)], out);
+        digest.insert(digest.end(), out.begin(), out.end());
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      const double hits = static_cast<double>(eng.stats().prologue_cache_hits);
+      return std::pair<double, double>{ms / kRounds, hits / kRounds};
+    };
+    std::vector<Reception> want, got;
+    const auto [cold_ms, cold_hr] = run(0, want);
+    (void)cold_hr;
+    const auto [warm_ms, warm_hr] = run(8, got);
+    const std::size_t n_tx = slot_tx[0].size();
+    EmitLine(json, n, "tdma", n_tx, net.size() - n_tx, 1, min_shard, false,
+             cold_ms, 1.0, true, &bad, "pyramid", 0, -1.0);
+    EmitLine(json, n, "tdma", n_tx, net.size() - n_tx, 1, min_shard, false,
+             warm_ms, cold_ms / warm_ms, SameReceptions(want, got), &bad,
+             "pyramid", 8, warm_hr);
+  }
+
   if (bad > 0) {
     std::cerr << "bench_parallel_rounds: " << bad
               << " configurations diverged from serial receptions\n";

@@ -19,7 +19,8 @@ points of every tracked bench schema. This script maintains it:
 Tracked schemas and their identity/value fields:
 
   dcc.bench.parallel_rounds.v1   keyed on (n, regime, threads, pipeline,
-                                 min_shard), value ms_per_round
+                                 min_shard, farfield, cache), value
+                                 ms_per_round
   dcc.bench.service_load.v1      keyed on (workload, phase, connections),
                                  value ms_per_request
   dcc.bench.distrib_rounds.v1    keyed on (n, ranks), value ms_per_round
@@ -47,12 +48,16 @@ from pathlib import Path
 
 SCHEMAS = {
     "dcc.bench.parallel_rounds.v1": {
-        "key_fields": ("n", "regime", "threads", "pipeline", "min_shard"),
+        "key_fields": ("n", "regime", "threads", "pipeline", "min_shard",
+                       "farfield", "cache"),
         "value_field": "ms_per_round",
         # The acceptance-relevant configs a trend entry records; everything
-        # else in the bench output is transient diagnostics.
+        # else in the bench output is transient diagnostics. sparse_wide
+        # tracks the pyramid-vs-flat far-field win; tdma tracks the
+        # prologue-cache win on a periodic schedule.
         "keep": lambda obj: obj.get("regime") in {"dense", "sparse",
-                                                  "dynamic"},
+                                                  "dynamic", "sparse_wide",
+                                                  "tdma"},
     },
     "dcc.bench.service_load.v1": {
         "key_fields": ("workload", "phase", "connections"),
@@ -116,9 +121,10 @@ def load_trend(path):
 def fmt_key(key):
     schema = key[0]
     if schema == "dcc.bench.parallel_rounds.v1":
-        n, regime, threads, pipeline, min_shard = key[1:]
+        n, regime, threads, pipeline, min_shard, farfield, cache = key[1:]
         pipe = "on" if pipeline else "off"
-        return f"n={n} {regime} t={threads} pipe={pipe} grain={min_shard}"
+        return (f"n={n} {regime} t={threads} pipe={pipe} grain={min_shard} "
+                f"ff={farfield} cache={cache}")
     if schema == "dcc.bench.service_load.v1":
         workload, phase, connections = key[1:]
         return f"service {workload} {phase} c={connections}"

@@ -139,4 +139,22 @@ double SpatialGrid::TileDistHiSq(int a, int b) const {
   return gx * gx + gy * gy;
 }
 
+double SpatialGrid::TileRangeDistLoSq(int a, int bx0, int by0, int bx1,
+                                      int by1) const {
+  const int ax = a % nx_, ay = a / nx_;
+  const int dx = ax < bx0 ? bx0 - ax : (ax > bx1 ? ax - bx1 : 0);
+  const int dy = ay < by0 ? by0 - ay : (ay > by1 ? ay - by1 : 0);
+  const double gx = cell_ * std::max(0, dx - 1);
+  const double gy = cell_ * std::max(0, dy - 1);
+  return gx * gx + gy * gy;
+}
+
+double SpatialGrid::TileRangeDistHiSq(int a, int bx0, int by0, int bx1,
+                                      int by1) const {
+  const int ax = a % nx_, ay = a / nx_;
+  const double gx = cell_ * (std::max(std::abs(ax - bx0), std::abs(ax - bx1)) + 1);
+  const double gy = cell_ * (std::max(std::abs(ay - by0), std::abs(ay - by1)) + 1);
+  return gx * gx + gy * gy;
+}
+
 }  // namespace dcc

@@ -133,6 +133,17 @@ class SpatialGrid {
   // a's box and q in tile b's box, TileDistLo <= |p - q| <= TileDistHi.
   double TileDistLoSq(int a, int b) const;
   double TileDistHiSq(int a, int b) const;
+
+  // Distance bounds between tile a's box and the union box of the tile
+  // range [bx0, bx1] x [by0, by1] (tile coordinates, inclusive) — the
+  // coarse cells of the far-field pyramid (sinr/farfield.h). For a
+  // degenerate range (bx0 == bx1, by0 == by1) these perform the exact same
+  // arithmetic as TileDistLoSq/TileDistHiSq, and for any tile b inside the
+  // range, TileRangeDistLoSq <= TileDistLoSq(a, b) and
+  // TileRangeDistHiSq >= TileDistHiSq(a, b) — the monotonicity the
+  // pyramid's conservativeness rests on.
+  double TileRangeDistLoSq(int a, int bx0, int by0, int bx1, int by1) const;
+  double TileRangeDistHiSq(int a, int bx0, int by0, int bx1, int by1) const;
   double TileDistLo(int a, int b) const { return std::sqrt(TileDistLoSq(a, b)); }
   double TileDistHi(int a, int b) const { return std::sqrt(TileDistHiSq(a, b)); }
 

@@ -187,6 +187,11 @@ void Session::EnsureStarted(const sinr::Engine& engine) {
   replica.ranks = 0;
   replica.nonce.reset();
   replica.engine = sinr::Engine::Options{};
+  // Perf-only engine knobs do ride along: they cannot change receptions
+  // (bit-identity is part of their contract), and a rank replaying periodic
+  // schedules benefits from them exactly like the coordinator does.
+  replica.engine.farfield = spec_.engine.farfield;
+  replica.engine.prologue_cache = spec_.engine.prologue_cache;
 
   const sinr::Network& net = engine.net();
   const SpatialGrid& grid = *engine.grid();
@@ -271,6 +276,18 @@ bool Session::StepRound(const sinr::Engine& engine,
   for (std::size_t t = 0; t < tiles; ++t) {
     if (tx_count_[t] > 0) occupied_tx_.push_back(static_cast<int>(t));
   }
+  // Same engagement rule as Engine::BuildTileState: the pyramid's NearTiles
+  // yields the identical near set either way, so the gate is purely the
+  // descent-vs-walk cost crossover.
+  const bool use_pyramid =
+      engine.options().farfield == sinr::Engine::FarField::kPyramid &&
+      occupied_tx_.size() >= engine.options().pyramid_min_occupied;
+  if (use_pyramid) {
+    pyramid_.Reset(grid);
+    pyramid_.Rebuild(occupied_tx_, [&](int b) {
+      return tx_count_[static_cast<std::size_t>(b)];
+    });
+  }
 
   // Owned ordinals per rank (ascending: ordinals are visited in order).
   std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> owned(
@@ -303,7 +320,10 @@ bool Session::StepRound(const sinr::Engine& engine,
         }
       }
       const std::vector<int> near =
-          NearTxTiles(grid, listener_tiles, occupied_tx_, engine.far_start());
+          use_pyramid ? pyramid_.NearTiles(grid, listener_tiles, occupied_tx_,
+                                           engine.far_start())
+                      : NearTxTiles(grid, listener_tiles, occupied_tx_,
+                                    engine.far_start());
       m.near.clear();
       m.near.reserve(near.size());
       for (const int b : near) {

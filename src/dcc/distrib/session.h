@@ -31,6 +31,7 @@
 #include "dcc/parallel/shard_plan.h"
 #include "dcc/scenario/spec.h"
 #include "dcc/sinr/engine.h"
+#include "dcc/sinr/farfield.h"
 
 namespace dcc::distrib {
 
@@ -121,6 +122,12 @@ class Session : public sinr::StepDelegate {
   std::vector<int> tx_tile_;
   std::vector<int> occupied_tx_;
   std::vector<std::uint32_t> tx_count_;
+  // Coordinator's half of the halo cut, when the engine runs with the
+  // pyramid: one rebuild per round, then each rank's near set falls out of
+  // a log-depth descent instead of |listener tiles| x |occupied| walks.
+  // The receiving rank re-derives the near set flat and verifies, so the
+  // wire format (and the cut itself) is provably unchanged.
+  sinr::FarFieldPyramid pyramid_;
   std::vector<std::pair<std::uint32_t, sinr::Reception>> merge_;
 };
 

@@ -67,6 +67,14 @@ struct RunReport {
     // worker's deque (nested engines donating idle sweep workers;
     // deterministically 0 for a top-level engine).
     std::int64_t steal_count = 0;
+    // Per-listener-tile far-field states built in round prologues vs read
+    // back from the prologue cache (both deterministic: pure functions of
+    // the round schedule and the cache capacity).
+    std::int64_t tile_states_computed = 0;
+    std::int64_t tile_states_reused = 0;
+    // Prologue-cache probes (0/0 with --prologue-cache=0).
+    std::int64_t prologue_cache_hits = 0;
+    std::int64_t prologue_cache_misses = 0;
     bool empty() const { return threads == 0; }
   };
   ParallelSection parallel;

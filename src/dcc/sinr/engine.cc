@@ -156,6 +156,31 @@ bool SpanEq(const std::vector<std::size_t>& a,
   return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
 }
 
+bool OrdinalsEq(const std::vector<std::uint32_t>& a,
+                std::span<const std::uint32_t> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+// Word-wise FNV-1a over the round's input spans — the prologue cache's
+// probe key. Collisions are harmless: a probe match is confirmed by a full
+// element-wise comparison before the entry is used.
+std::uint64_t HashRound(std::span<const std::size_t> tx,
+                        std::span<const std::size_t> listeners,
+                        std::span<const std::uint32_t> ordinals) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(tx.size());
+  for (const std::size_t v : tx) mix(v);
+  mix(listeners.size());
+  for (const std::size_t v : listeners) mix(v);
+  mix(ordinals.size());
+  for (const std::uint32_t v : ordinals) mix(v);
+  return h;
+}
+
 }  // namespace
 
 Engine::Options Engine::Options::FromEnv() {
@@ -199,6 +224,26 @@ Engine::Options Engine::Options::FromEnv() {
                             "' must be in [1, 1048576]");
     }
     opts.min_listeners_per_shard = static_cast<std::size_t>(v);
+  }
+  if (const char* ff = std::getenv("DCC_ENGINE_FARFIELD"); ff && *ff != '\0') {
+    const std::string f(ff);
+    if (f == "pyramid") {
+      opts.farfield = FarField::kPyramid;
+    } else if (f == "flat") {
+      opts.farfield = FarField::kFlat;
+    } else {
+      throw InvalidArgument("DCC_ENGINE_FARFIELD: unknown strategy '" + f +
+                            "' (expected pyramid or flat)");
+    }
+  }
+  if (const char* cache = std::getenv("DCC_ENGINE_PROLOGUE_CACHE");
+      cache && *cache != '\0') {
+    const std::int64_t v = ParseInt64(cache, "DCC_ENGINE_PROLOGUE_CACHE");
+    if (v < 0 || v > 1024) {
+      throw InvalidArgument("DCC_ENGINE_PROLOGUE_CACHE: entry count '" +
+                            std::string(cache) + "' must be in [0, 1024]");
+    }
+    opts.prologue_cache = static_cast<std::size_t>(v);
   }
   return opts;
 }
@@ -245,6 +290,12 @@ Engine::Engine(const Network& net, Options options)
       P.tx_start.assign(static_cast<std::size_t>(grid_->tile_count()) + 1, 0);
     }
   }
+  if (grid_ && options_.farfield == FarField::kPyramid) {
+    pyramid_.Reset(*grid_);
+  }
+  if (grid_ && options_.prologue_cache > 0) {
+    cache_.resize(options_.prologue_cache);
+  }
   EnsureScratch(1);
 }
 
@@ -252,19 +303,7 @@ Engine::~Engine() { AbandonPrefetch(); }
 
 void Engine::EnsureScratch(int shards) const {
   if (static_cast<int>(scratch_.size()) >= shards) return;
-  const std::size_t old = scratch_.size();
   scratch_.resize(static_cast<std::size_t>(shards));
-  if (!grid_) return;
-  const auto tiles = static_cast<std::size_t>(grid_->tile_count());
-  for (std::size_t k = old; k < scratch_.size(); ++k) {
-    RoundScratch& s = scratch_[k];
-    s.tile_stamp.assign(tiles, 0);
-    s.tile_far_lo.assign(tiles, 0.0);
-    s.tile_far_ub.assign(tiles, 0.0);
-    s.tile_close_begin.assign(tiles, 0);
-    s.tile_close_end.assign(tiles, 0);
-    s.round_stamp = 0;
-  }
 }
 
 void Engine::SyncIndex() {
@@ -340,18 +379,32 @@ void Engine::StepOrdinalsInto(
   AbandonPrefetch();
   // A rank runs with threads == 1, so BuildPrologue skips the shard
   // decomposition and this is exactly the serial per-round index build.
-  RoundPrologue& P = prologue_[live_slot_];
-  BuildPrologue(P, transmitters, listeners, /*tx_pos=*/nullptr);
+  // With a prologue cache, a repeated (tx, listeners, ordinals) triple — a
+  // TDMA slot revisited inside one rank process — replays the memoized
+  // prologue instead of rebuilding it.
+  RoundPrologue* P;
+  bool from_cache = false;
+  if (!cache_.empty()) {
+    P = &CacheAcquire(transmitters, listeners, ordinals);
+    from_cache = true;
+  } else {
+    P = &prologue_[live_slot_];
+    BuildPrologue(*P, transmitters, listeners, /*tx_pos=*/nullptr, ordinals);
+    stats_.tile_states_computed +=
+        static_cast<std::int64_t>(P->lt_tiles.size());
+  }
   EnsureScratch(1);
   RoundScratch& s = scratch_[0];
-  StepGridRange(P, transmitters, listeners, /*all_listeners=*/false, ordinals,
+  StepGridRange(*P, transmitters, listeners, /*all_listeners=*/false, ordinals,
                 s);
   out.insert(out.end(), s.pending.begin(), s.pending.end());
   stats_.grid_pruned += s.pruned;
   stats_.grid_exact_fallbacks += s.exact_fallbacks;
   s.pruned = 0;
   s.exact_fallbacks = 0;
-  ClearTxMarks(P, transmitters);
+  // Cache-resident prologues keep their marks (valid for their tx set and
+  // re-validated on every hit); eviction clears them.
+  if (!from_cache) ClearTxMarks(*P, transmitters);
 }
 
 // --- Round pipeline. ---
@@ -393,7 +446,7 @@ void Engine::MaybePrefetchNext() const {
   prefetch_pending_ = true;
   planner_.Launch([this, slot = 1 - live_slot_] {
     RoundPrologue& P = prologue_[slot];
-    BuildPrologue(P, P.tx, P.listeners, P.tx_pos.data());
+    BuildPrologue(P, P.tx, P.listeners, P.tx_pos.data(), {});
   });
 }
 
@@ -414,6 +467,7 @@ void Engine::ClearTxMarks(RoundPrologue& P,
 Engine::RoundPrologue& Engine::AcquirePrologue(
     std::span<const std::size_t> tx,
     std::span<const std::size_t> listeners) const {
+  live_from_cache_ = false;
   if (prefetch_pending_) {
     const parallel::RoundPlanner::Outcome outcome = planner_.Collect();
     prefetch_pending_ = false;
@@ -428,19 +482,85 @@ Engine::RoundPrologue& Engine::AcquirePrologue(
     if (valid) {
       live_slot_ = 1 - live_slot_;
       ++stats_.rounds_pipelined;
+      stats_.tile_states_computed +=
+          static_cast<std::int64_t>(spec.lt_tiles.size());
       if (outcome.overlapped) stats_.prologue_overlap_ns += outcome.build_ns;
       return spec;
     }
     ClearTxMarks(spec, spec.tx);  // wrong guess: discard, build fresh
   }
+  if (!cache_.empty()) {
+    live_from_cache_ = true;
+    return CacheAcquire(tx, listeners, {});
+  }
   RoundPrologue& P = prologue_[live_slot_];
-  BuildPrologue(P, tx, listeners, /*tx_pos=*/nullptr);
+  BuildPrologue(P, tx, listeners, /*tx_pos=*/nullptr, {});
+  stats_.tile_states_computed += static_cast<std::int64_t>(P.lt_tiles.size());
+  return P;
+}
+
+Engine::RoundPrologue& Engine::CacheAcquire(
+    std::span<const std::size_t> tx, std::span<const std::size_t> listeners,
+    std::span<const std::uint32_t> ordinals) const {
+  static obs::Counter& hits_metric = obs::MetricsRegistry::Global().GetCounter(
+      "dcc_engine_prologue_cache_hits_total",
+      "Rounds whose prologue was replayed from the transmit-set cache");
+  static obs::Counter& misses_metric =
+      obs::MetricsRegistry::Global().GetCounter(
+          "dcc_engine_prologue_cache_misses_total",
+          "Rounds that built a prologue into the transmit-set cache");
+  const std::uint64_t key = HashRound(tx, listeners, ordinals);
+  const std::uint64_t index_gen = grid_->generation();
+  const std::uint64_t pos_gen = net_->generation();
+  CacheEntry* victim = nullptr;
+  for (CacheEntry& e : cache_) {
+    if (!e.used) {
+      if (victim == nullptr || victim->used) victim = &e;
+      continue;
+    }
+    // The same validation the pipeline's speculation performs: content
+    // equality plus untouched generation stamps. A stale or mismatched
+    // entry is just an eviction candidate.
+    if (e.key == key && e.P.index_gen == index_gen && e.P.pos_gen == pos_gen &&
+        SpanEq(e.P.tx, tx) && SpanEq(e.P.listeners, listeners) &&
+        OrdinalsEq(e.ordinals, ordinals)) {
+      e.last_used = ++cache_tick_;
+      ++stats_.prologue_cache_hits;
+      stats_.tile_states_reused +=
+          static_cast<std::int64_t>(e.P.lt_tiles.size());
+      hits_metric.Add(1);
+      DCC_TRACE_INSTANT("engine.prologue_cache_hit");
+      return e.P;
+    }
+    if (victim == nullptr || (victim->used && e.last_used < victim->last_used)) {
+      victim = &e;
+    }
+  }
+  // Miss: build into the LRU slot (unused entries first). The evicted
+  // prologue's marks are cleared before its tx copy is overwritten.
+  if (victim->used) ClearTxMarks(victim->P, victim->P.tx);
+  victim->used = true;
+  victim->key = key;
+  victim->last_used = ++cache_tick_;
+  victim->ordinals.assign(ordinals.begin(), ordinals.end());
+  RoundPrologue& P = victim->P;
+  P.tx.assign(tx.begin(), tx.end());
+  P.listeners.assign(listeners.begin(), listeners.end());
+  P.tx_pos.clear();
+  P.index_gen = index_gen;
+  P.pos_gen = pos_gen;
+  BuildPrologue(P, tx, listeners, /*tx_pos=*/nullptr, ordinals);
+  ++stats_.prologue_cache_misses;
+  stats_.tile_states_computed += static_cast<std::int64_t>(P.lt_tiles.size());
+  misses_metric.Add(1);
+  DCC_TRACE_INSTANT("engine.prologue_cache_miss");
   return P;
 }
 
 void Engine::BuildPrologue(RoundPrologue& P, std::span<const std::size_t> tx,
                            std::span<const std::size_t> listeners,
-                           const Vec2* tx_pos) const {
+                           const Vec2* tx_pos,
+                           std::span<const std::uint32_t> ordinals) const {
   // Serial builds run on the stepping thread; speculative builds run on a
   // pool worker — the span lands on whichever thread did the work.
   DCC_TRACE_SPAN("engine.prologue");
@@ -534,6 +654,99 @@ void Engine::BuildPrologue(RoundPrologue& P, std::span<const std::size_t> tx,
         P.shard_ordinals[P.shard_ord_fill[P.listener_shard[ord]]++] =
             static_cast<std::uint32_t>(ord);
       }
+    }
+  }
+
+  BuildTileState(P, listeners, ordinals);
+}
+
+void Engine::BuildTileState(RoundPrologue& P,
+                            std::span<const std::size_t> listeners,
+                            std::span<const std::uint32_t> ordinals) const {
+  DCC_TRACE_SPAN("engine.farfield");
+  const Network& net = *net_;
+  const PropagationModel& model = net.propagation();
+  const SpatialGrid& grid = *grid_;
+  const auto tiles = static_cast<std::size_t>(grid.tile_count());
+
+  // The distinct listener tiles this round resolves, ascending — the whole
+  // round's, or only the named ordinals' (the rank path never pays for
+  // tiles it does not own).
+  if (P.lt_mark.size() != tiles) P.lt_mark.assign(tiles, 0);
+  P.lt_tiles.clear();
+  const std::size_t count = ordinals.empty() ? listeners.size()
+                                             : ordinals.size();
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t u = listeners[ordinals.empty() ? k : ordinals[k]];
+    const auto t = static_cast<std::size_t>(grid.TileOfPoint(u));
+    if (!P.lt_mark[t]) {
+      P.lt_mark[t] = 1;
+      P.lt_tiles.push_back(static_cast<int>(t));
+    }
+  }
+  std::sort(P.lt_tiles.begin(), P.lt_tiles.end());
+  for (const int t : P.lt_tiles) P.lt_mark[static_cast<std::size_t>(t)] = 0;
+
+  if (P.tile_far_lo.size() != tiles) {
+    P.tile_far_lo.assign(tiles, 0.0);
+    P.tile_far_ub.assign(tiles, 0.0);
+    P.tile_close_begin.assign(tiles, 0);
+    P.tile_close_end.assign(tiles, 0);
+  }
+  P.close_pool.clear();
+
+  // Envelope bounds as a function of squared distance, devirtualized for
+  // the pure path-loss model (same kernels StepGridRange uses).
+  const auto min_gain_d2 = [&](double d2_hi) {
+    return pure_path_loss_ != nullptr ? pure_path_loss_->GainD2(d2_hi)
+                                      : model.MinGain(std::sqrt(d2_hi));
+  };
+  const auto max_gain_d2 = [&](double d2_lo) {
+    return pure_path_loss_ != nullptr ? pure_path_loss_->GainD2(d2_lo)
+                                      : model.MaxGain(std::sqrt(d2_lo));
+  };
+  const double far_sq = far_start_ * far_start_;
+
+  if (options_.farfield == FarField::kPyramid &&
+      P.occupied_tx.size() >= options_.pyramid_min_occupied) {
+    pyramid_.Reset(grid);
+    pyramid_.Rebuild(P.occupied_tx, [&](int b) {
+      return P.tx_start[static_cast<std::size_t>(b) + 1] -
+             P.tx_start[static_cast<std::size_t>(b)];
+    });
+    for (const int t : P.lt_tiles) {
+      const auto tile = static_cast<std::size_t>(t);
+      double far_lo = 0.0, far_ub = 0.0;
+      P.tile_close_begin[tile] = static_cast<std::uint32_t>(P.close_pool.size());
+      pyramid_.Accumulate(grid, t, far_sq, min_gain_d2, max_gain_d2,
+                          P.close_pool, far_lo, far_ub);
+      P.tile_close_end[tile] = static_cast<std::uint32_t>(P.close_pool.size());
+      P.tile_far_lo[tile] = far_lo;
+      P.tile_far_ub[tile] = far_ub;
+    }
+  } else {
+    // The flat walk, hoisted verbatim: same occupied-ascending iteration
+    // (and therefore the same far_lo summation order and close-list order)
+    // the per-shard lazy build used to perform.
+    for (const int t : P.lt_tiles) {
+      const auto tile = static_cast<std::size_t>(t);
+      double far_lo = 0.0, far_ub = 0.0;
+      P.tile_close_begin[tile] = static_cast<std::uint32_t>(P.close_pool.size());
+      for (const int b : P.occupied_tx) {
+        const double d2_lo = grid.TileDistLoSq(t, b);
+        if (d2_lo > far_sq) {
+          const auto cnt = static_cast<double>(
+              P.tx_start[static_cast<std::size_t>(b) + 1] -
+              P.tx_start[static_cast<std::size_t>(b)]);
+          far_lo += cnt * min_gain_d2(grid.TileDistHiSq(t, b));
+          far_ub = std::max(far_ub, max_gain_d2(d2_lo));
+        } else {
+          P.close_pool.push_back(b);
+        }
+      }
+      P.tile_close_end[tile] = static_cast<std::uint32_t>(P.close_pool.size());
+      P.tile_far_lo[tile] = far_lo;
+      P.tile_far_ub[tile] = far_ub;
     }
   }
 }
@@ -639,10 +852,10 @@ void Engine::ResolveFallbacksBlocked(
     // list (both ascending), with adjacent CSR ranges coalesced.
     s.far_ranges.clear();
     {
-      std::uint32_t c = s.tile_close_begin[tile];
-      const std::uint32_t c_end = s.tile_close_end[tile];
+      std::uint32_t c = P.tile_close_begin[tile];
+      const std::uint32_t c_end = P.tile_close_end[tile];
       for (const int b : P.occupied_tx) {
-        if (c < c_end && s.close_pool[c] == b) {
+        if (c < c_end && P.close_pool[c] == b) {
           ++c;
           continue;
         }
@@ -743,8 +956,6 @@ void Engine::StepGridRange(const RoundPrologue& P,
   const double beta = net.params().beta;
   const double noise = net.params().noise;
 
-  ++s.round_stamp;
-  s.close_pool.clear();
   s.fallback.clear();
   s.pending.clear();
   s.pruned = 0;
@@ -762,7 +973,6 @@ void Engine::StepGridRange(const RoundPrologue& P,
                                       : model.MaxGain(std::sqrt(d2_lo));
   };
   const double near_sq = near_radius_ * near_radius_;
-  const double far_sq = far_start_ * far_start_;
 
   const std::size_t count = all_listeners ? listeners.size()
                                           : ordinals.size();
@@ -773,31 +983,6 @@ void Engine::StepGridRange(const RoundPrologue& P,
     DCC_CHECK(!P.is_tx[u]);  // a transmitter cannot listen
     const Vec2 pu = net.position(u);
     const auto tile_u = static_cast<std::size_t>(grid.TileOfPoint(u));
-    const int tile_u_i = static_cast<int>(tile_u);
-
-    // Shared per-listener-tile state: far-field bounds + close-tile list.
-    if (s.tile_stamp[tile_u] != s.round_stamp) {
-      s.tile_stamp[tile_u] = s.round_stamp;
-      double far_lo = 0.0, far_ub = 0.0;
-      s.tile_close_begin[tile_u] =
-          static_cast<std::uint32_t>(s.close_pool.size());
-      for (const int b : P.occupied_tx) {
-        const double d2_lo = grid.TileDistLoSq(tile_u_i, b);
-        if (d2_lo > far_sq) {
-          const auto cnt = static_cast<double>(
-              P.tx_start[static_cast<std::size_t>(b) + 1] -
-              P.tx_start[static_cast<std::size_t>(b)]);
-          far_lo += cnt * min_gain_d2(grid.TileDistHiSq(tile_u_i, b));
-          far_ub = std::max(far_ub, max_gain_d2(d2_lo));
-        } else {
-          s.close_pool.push_back(b);
-        }
-      }
-      s.tile_close_end[tile_u] =
-          static_cast<std::uint32_t>(s.close_pool.size());
-      s.tile_far_lo[tile_u] = far_lo;
-      s.tile_far_ub[tile_u] = far_ub;
-    }
 
     const auto gain_at = [&](std::size_t v) {
       if (pure_path_loss_ != nullptr) {
@@ -810,12 +995,12 @@ void Engine::StepGridRange(const RoundPrologue& P,
     double close_sum = 0.0;
     double best = -1.0;
     std::size_t best_v = 0;
-    double bound_lo = s.tile_far_lo[tile_u];
-    double gain_ub = s.tile_far_ub[tile_u];
-    const std::uint32_t close_begin = s.tile_close_begin[tile_u];
-    const std::uint32_t close_end = s.tile_close_end[tile_u];
+    double bound_lo = P.tile_far_lo[tile_u];
+    double gain_ub = P.tile_far_ub[tile_u];
+    const std::uint32_t close_begin = P.tile_close_begin[tile_u];
+    const std::uint32_t close_end = P.tile_close_end[tile_u];
     for (std::uint32_t c = close_begin; c < close_end; ++c) {
-      const int b = s.close_pool[c];
+      const int b = P.close_pool[c];
       const double d2_lo = grid.DistLoSq(pu, b);
       const std::size_t mb = P.tx_start[static_cast<std::size_t>(b)];
       const std::size_t me = P.tx_start[static_cast<std::size_t>(b) + 1];
@@ -851,7 +1036,7 @@ void Engine::StepGridRange(const RoundPrologue& P,
     // Stage 2 — scan the mid tiles exactly; only the shared far-field
     // bound remains an estimate.
     for (std::uint32_t c = close_begin; c < close_end; ++c) {
-      const int b = s.close_pool[c];
+      const int b = P.close_pool[c];
       if (grid.DistLoSq(pu, b) <= near_sq) continue;  // already exact
       for (std::size_t t = P.tx_start[static_cast<std::size_t>(b)];
            t < P.tx_start[static_cast<std::size_t>(b) + 1]; ++t) {
@@ -863,8 +1048,8 @@ void Engine::StepGridRange(const RoundPrologue& P,
         }
       }
     }
-    if (cannot_receive(std::max(best, s.tile_far_ub[tile_u]),
-                       close_sum + s.tile_far_lo[tile_u])) {
+    if (cannot_receive(std::max(best, P.tile_far_ub[tile_u]),
+                       close_sum + P.tile_far_lo[tile_u])) {
       ++s.pruned;
       continue;
     }
@@ -954,7 +1139,9 @@ void Engine::StepGrid(std::span<const std::size_t> transmitters,
     MergeShards(shards, out);
   }
 
-  ClearTxMarks(P, transmitters);
+  // Cache-resident prologues keep their tx marks until eviction so a hit
+  // can skip the whole serial prologue.
+  if (!live_from_cache_) ClearTxMarks(P, transmitters);
 }
 
 double Engine::Sinr(std::size_t v, std::size_t u,

@@ -70,6 +70,7 @@
 #include "dcc/common/spatial_grid.h"
 #include "dcc/parallel/round_pipeline.h"
 #include "dcc/parallel/shard_plan.h"
+#include "dcc/sinr/farfield.h"
 #include "dcc/sinr/network.h"
 
 namespace dcc::parallel {
@@ -112,9 +113,23 @@ class Engine {
     kGrid,   // spatial-index pruning + exact fallback
   };
 
+  // How grid mode accumulates each listener tile's far-field bounds.
+  // Receptions are bit-identical either way (the pyramid's bounds are
+  // conservative relative to the flat walk, so it can only defer more
+  // listeners to the exact fallback — see sinr/farfield.h).
+  enum class FarField {
+    kFlat,     // walk every occupied transmitter tile per listener tile
+    kPyramid,  // descend the multi-resolution tile pyramid (O(log #tiles))
+  };
+
   // Default listener grain: below this many listeners per shard a round is
   // not worth dispatching (see Options::min_listeners_per_shard).
-  static constexpr std::size_t kMinListenersPerShard = 2;
+  // Re-measured with `bench_parallel_rounds --sweep_grain` (see the
+  // ROADMAP's parallel-execution note): per-shard dispatch costs roughly
+  // the resolution of a handful of listeners, so grains below ~8 pay pool
+  // overhead for rounds too small to amortize it, while larger grains
+  // start serializing mid-sized rounds.
+  static constexpr std::size_t kMinListenersPerShard = 8;
 
   struct Options {
     Mode mode = Mode::kAuto;
@@ -147,6 +162,27 @@ class Engine {
     // threads > 1 only; bit-identical output either way — see the header
     // comment).
     bool pipeline = false;
+    // Far-field accumulation strategy (grid mode). The pyramid is the
+    // default: strictly less work per listener tile in sparse-wide rounds,
+    // bit-identical receptions (see FarField).
+    FarField farfield = FarField::kPyramid;
+    // With farfield == kPyramid, descend the pyramid only for rounds whose
+    // transmitters occupy at least this many tiles; below it the flat walk
+    // is already trivially cheap and the descent's constant factor loses
+    // (measured ~+4..9% per round at <100 occupied tiles vs ~5x faster at
+    // >1000). Receptions are bit-identical on either path, so the
+    // per-round choice is invisible outside timing. Tests pin 0 to force
+    // the descent on small fixtures.
+    std::size_t pyramid_min_occupied = 512;
+    // Transmit-set-memoized prologues: a small LRU of this many full
+    // RoundPrologue values keyed on the (transmitter set, listener set)
+    // content plus the Network/SpatialGrid generation stamps — the exact
+    // validation the pipeline's speculation performs. Schedule-driven
+    // protocols (TDMA periodic slots) then skip the serial prologue build
+    // entirely on repeated rounds. 0 disables (default). Receptions are
+    // bit-identical with the cache on or off: a hit replays a prologue
+    // byte-equivalent to what a fresh build would produce.
+    std::size_t prologue_cache = 0;
     // Pool to dispatch on (defaults to WorkerPool::Shared()). Must outlive
     // the engine; ignored when the resolved thread count is 1. Not in the
     // flag grammar — tests inject a dedicated pool to pin scheduling
@@ -159,10 +195,12 @@ class Engine {
     StepDelegate* delegate = nullptr;
 
     // Options overridden from the environment (benches and dcc_run):
-    //   DCC_ENGINE_MODE      = exact | grid | auto (default auto)
-    //   DCC_ENGINE_CELL      = <tile side>         (default: engine heuristic)
-    //   DCC_ENGINE_THREADS   = <shard count, 0=hw> (default: 1, serial)
-    //   DCC_ENGINE_MIN_SHARD = <listener grain>    (default: 2)
+    //   DCC_ENGINE_MODE           = exact | grid | auto (default auto)
+    //   DCC_ENGINE_CELL           = <tile side>     (default: engine heuristic)
+    //   DCC_ENGINE_THREADS        = <shard count, 0=hw> (default: 1, serial)
+    //   DCC_ENGINE_MIN_SHARD      = <listener grain> (default: 8)
+    //   DCC_ENGINE_FARFIELD       = pyramid | flat  (default pyramid)
+    //   DCC_ENGINE_PROLOGUE_CACHE = <entries, 0=off> (default 0)
     // Throws InvalidArgument on any unrecognized or malformed value — a
     // typo must not silently fall back to the default strategy.
     static Options FromEnv();
@@ -321,6 +359,19 @@ class Engine {
     // nonzero when a nested engine's shards were picked up by idle sweep
     // workers.
     std::int64_t steal_count = 0;
+    // Hoisted per-listener-tile far-field state: tiles whose bounds/close
+    // lists were computed by a prologue build vs served again from a
+    // memoized prologue (cache hit) without recomputation. Before the
+    // hoist, boundary tiles shared by adjacent shards were recomputed per
+    // shard; now every distinct listener tile is computed at most once per
+    // distinct round content.
+    std::int64_t tile_states_computed = 0;
+    std::int64_t tile_states_reused = 0;
+    // Transmit-set-memoized prologue cache (Options::prologue_cache):
+    // rounds whose full prologue was replayed from the LRU vs rounds that
+    // had to build one (misses stay 0 while the cache is disabled).
+    std::int64_t prologue_cache_hits = 0;
+    std::int64_t prologue_cache_misses = 0;
   };
   const Stats& stats() const { return stats_; }
   // Counters accumulate through const Steps (they are diagnostics, not
@@ -367,6 +418,20 @@ class Engine {
     std::vector<double> tx_sy;
     std::vector<int> occupied_tx;  // tiles with >= 1 transmitter
 
+    // Hoisted per-listener-tile far-field state: shared far-field bounds
+    // plus each tile's close (near/mid) transmitter-tile list, computed
+    // once per build for every distinct listener tile (ascending) and read
+    // by every shard — boundary tiles shared by adjacent shards are not
+    // recomputed per shard, and a memoized prologue replays this state
+    // for free. Only the entries named by lt_tiles are valid.
+    std::vector<int> lt_tiles;  // distinct listener tiles, ascending
+    std::vector<char> lt_mark;  // collection scratch (all-zero between builds)
+    std::vector<double> tile_far_lo;
+    std::vector<double> tile_far_ub;
+    std::vector<std::uint32_t> tile_close_begin;
+    std::vector<std::uint32_t> tile_close_end;
+    std::vector<int> close_pool;
+
     // Shard decomposition (only filled when shards > 1).
     int shards = 1;
     bool small_round = false;  // threads > 1 but dispatch cannot win
@@ -378,21 +443,13 @@ class Engine {
     std::vector<std::uint32_t> shard_ordinals;   // ordinals by shard
   };
 
-  // One worker's whole mutable state for one round: the per-listener-tile
-  // bound cache, the deferred-fallback queue, and the (ordinal, Reception)
-  // pairs it produced. Serial rounds use scratch_[0]; a K-shard round uses
-  // scratch_[0..K) with no sharing, which is what makes the fan-out
-  // race-free by construction.
+  // One worker's whole mutable state for one round: the deferred-fallback
+  // queue and the (ordinal, Reception) pairs it produced (the
+  // per-listener-tile bound cache lives in the RoundPrologue now — shards
+  // read it, they never build it). Serial rounds use scratch_[0]; a
+  // K-shard round uses scratch_[0..K) with no sharing, which is what makes
+  // the fan-out race-free by construction.
   struct RoundScratch {
-    // Per-listener-tile round cache: shared far-field bounds plus the list
-    // of close (near/mid) transmitter tiles.
-    std::vector<std::uint64_t> tile_stamp;
-    std::vector<double> tile_far_lo;
-    std::vector<double> tile_far_ub;
-    std::vector<std::uint32_t> tile_close_begin;
-    std::vector<std::uint32_t> tile_close_end;
-    std::vector<int> close_pool;
-    std::uint64_t round_stamp = 0;
     std::vector<GridFallback> fallback;
     // Receptions tagged with their listener ordinal; sorted by ordinal at
     // the end of a range so the merge is a deterministic concatenation.
@@ -420,16 +477,33 @@ class Engine {
   // listener histogram and buckets listener ordinals by shard (stable, so
   // each shard sees ascending ordinals — the serial processing order).
   // `tx_pos` supplies transmitter positions (speculative builds pass their
-  // snapshot; nullptr reads the live network). Read-only for the rest of
-  // the round, which is what lets shard workers share it.
+  // snapshot; nullptr reads the live network). `ordinals` scopes the
+  // hoisted tile state: empty builds it for every listener's tile (a whole
+  // round); a rank passes its owned ordinals so it never pays for tiles it
+  // does not resolve. Read-only for the rest of the round, which is what
+  // lets shard workers share it.
   void BuildPrologue(RoundPrologue& P, std::span<const std::size_t> tx,
                      std::span<const std::size_t> listeners,
-                     const Vec2* tx_pos) const;
+                     const Vec2* tx_pos,
+                     std::span<const std::uint32_t> ordinals) const;
+  // The hoisted far-field stage of BuildPrologue: collects the distinct
+  // listener tiles and computes each one's far-field bounds + close list,
+  // via the pyramid (Options::farfield) or the flat occupied-tile walk.
+  void BuildTileState(RoundPrologue& P, std::span<const std::size_t> listeners,
+                      std::span<const std::uint32_t> ordinals) const;
   // Returns this round's ready prologue: a validated speculative one
-  // (flipping the live slot) or a fresh serial build. Updates the
-  // pipeline/dispatch stats.
+  // (flipping the live slot), a memoized one from the prologue cache, or a
+  // fresh serial build. Updates the pipeline/dispatch/cache stats and
+  // live_from_cache_ (cache-resident prologues keep their is_tx marks
+  // across rounds; the others are cleared at round end as before).
   RoundPrologue& AcquirePrologue(std::span<const std::size_t> tx,
                                  std::span<const std::size_t> listeners) const;
+  // The prologue-cache half of AcquirePrologue, shared with the rank path:
+  // returns a hit's prologue or builds into the evicted LRU slot. Only
+  // called when options_.prologue_cache > 0.
+  RoundPrologue& CacheAcquire(std::span<const std::size_t> tx,
+                              std::span<const std::size_t> listeners,
+                              std::span<const std::uint32_t> ordinals) const;
   // Launches the speculative build of the disclosed next round into the
   // spare slot, if there is a disclosure and the pipeline is active.
   void MaybePrefetchNext() const;
@@ -459,7 +533,7 @@ class Engine {
   void ResolveFallbacksBlocked(const RoundPrologue& P,
                                std::span<const std::size_t> transmitters,
                                RoundScratch& s) const;
-  // Grows scratch_ to `shards` entries with tile arrays sized for grid_.
+  // Grows scratch_ to `shards` entries.
   void EnsureScratch(int shards) const;
   // Concatenates every shard's pending receptions, restores global
   // listener order, and appends to `out` (allocation-free at steady
@@ -486,6 +560,27 @@ class Engine {
   // current round; the other slot is the speculative build target.
   mutable RoundPrologue prologue_[2];
   mutable int live_slot_ = 0;
+
+  // Far-field tile pyramid (Options::farfield == kPyramid), rebuilt by each
+  // prologue build from that round's tx CSR. One instance is enough: builds
+  // are serialized (AbandonPrefetch/Collect precede every fresh build) and
+  // shards never touch it — they read the hoisted tile state instead.
+  mutable FarFieldPyramid pyramid_;
+
+  // Transmit-set-memoized prologues (Options::prologue_cache): a small LRU
+  // of fully built RoundPrologue values. Entries keep their is_tx marks
+  // while resident (valid for their own tx set; every prologue carries its
+  // own mark array) and are cleared only on eviction.
+  struct CacheEntry {
+    bool used = false;
+    std::uint64_t key = 0;        // content hash (validation re-compares)
+    std::uint64_t last_used = 0;  // LRU clock
+    std::vector<std::uint32_t> ordinals;  // rank-path key (empty = whole round)
+    RoundPrologue P;
+  };
+  mutable std::vector<CacheEntry> cache_;
+  mutable std::uint64_t cache_tick_ = 0;
+  mutable bool live_from_cache_ = false;
 
   // --- Pipeline state (Options::pipeline). ---
   mutable parallel::RoundPlanner planner_;

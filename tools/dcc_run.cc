@@ -63,6 +63,16 @@ void PrintUsage(std::ostream& os) {
         "                             dcc_rank over socketpairs). Receptions\n"
         "                             are bit-identical to --ranks=0 and runs\n"
         "                             report a dcc.distrib.v1 section (0)\n"
+        "  --farfield=pyramid|flat    far-field bound accumulation: descend\n"
+        "                             the multi-resolution tile pyramid, or\n"
+        "                             walk every occupied tile per listener\n"
+        "                             tile. Receptions are bit-identical\n"
+        "                             either way (pyramid)\n"
+        "  --prologue-cache=N         memoize up to N round prologues keyed\n"
+        "                             on the transmit/listener sets so\n"
+        "                             periodic schedules (TDMA) skip the\n"
+        "                             serial prologue on repeats;\n"
+        "                             bit-identical output (0 = off)\n"
         "\n"
         "driver flags:\n"
         "  --list --json=PATH --quiet --help   (--json=- writes the report\n"
